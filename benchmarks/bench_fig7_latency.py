@@ -1,0 +1,57 @@
+"""Experiment E1 — Fig. 7: single-client latency of directory ops.
+
+Reproduces the paper's central table: append-delete, tmp-file, and
+lookup latency for the four implementations (Group(3), RPC(2),
+Sun NFS(1), Group+NVRAM(3)). The shape checks assert every ordering
+and ratio claim the paper makes about this table.
+"""
+
+from repro.bench import fig7_table
+from repro.bench.tables import format_fig7, shape_check_fig7
+
+from conftest import write_result
+
+
+def run_fig7():
+    return fig7_table(iterations=12, seed=0)
+
+
+def test_fig7_latency_table(benchmark, results_dir):
+    table = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    write_result(results_dir, "fig7_latency.txt", format_fig7(table))
+    problems = shape_check_fig7(table)
+    assert problems == [], f"shape claims violated: {problems}"
+
+
+def test_fig7_nvram_speedup_factor(benchmark, results_dir):
+    """The paper: NVRAM is 6.8x (append-delete) and 4.3x (tmp-file)
+    faster than the plain group implementation."""
+    table = benchmark.pedantic(lambda: fig7_table(iterations=8, seed=1), rounds=1, iterations=1)
+    speedup_ad = table["append_delete"]["group"] / table["append_delete"]["nvram"]
+    speedup_tf = table["tmp_file"]["group"] / table["tmp_file"]["nvram"]
+    write_result(
+        results_dir,
+        "fig7_nvram_speedup.txt",
+        "NVRAM speedups vs plain group service\n"
+        f"  append-delete: {speedup_ad:.1f}x (paper: 6.8x)\n"
+        f"  tmp-file:      {speedup_tf:.1f}x (paper: 4.3x)",
+    )
+    assert 5.0 < speedup_ad < 9.0
+    assert 3.0 < speedup_tf < 6.0
+
+
+def test_fig7_fault_tolerance_cost_vs_nfs(benchmark, results_dir):
+    """The paper: high reliability costs 2.1x (append-delete) and
+    1.9x (tmp-file) relative to Sun NFS."""
+    table = benchmark.pedantic(lambda: fig7_table(iterations=8, seed=2), rounds=1, iterations=1)
+    cost_ad = table["append_delete"]["group"] / table["append_delete"]["nfs"]
+    cost_tf = table["tmp_file"]["group"] / table["tmp_file"]["nfs"]
+    write_result(
+        results_dir,
+        "fig7_ft_cost.txt",
+        "Fault-tolerance cost vs Sun NFS\n"
+        f"  append-delete: {cost_ad:.1f}x (paper: 2.1x)\n"
+        f"  tmp-file:      {cost_tf:.1f}x (paper: 1.9x)",
+    )
+    assert 1.6 < cost_ad < 2.8
+    assert 1.4 < cost_tf < 2.6

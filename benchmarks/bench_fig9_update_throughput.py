@@ -1,0 +1,52 @@
+"""Experiment E3 — Fig. 9: append-delete throughput vs clients.
+
+Write operations cannot be performed in parallel (they serialize in
+the group thread's total order / the RPC intent handshake), so each
+service hits a flat ceiling: the paper reports ~45 pairs/s for
+group+NVRAM and ~5 pairs/s for both disk-based services.
+"""
+
+from repro.bench import update_throughput
+from repro.bench.tables import format_throughput_curve
+
+from conftest import write_result
+
+CLIENTS = (1, 2, 3, 5, 7)
+
+
+def run_fig9():
+    curves = {}
+    for impl in ("group", "nvram", "rpc"):
+        curves[impl] = {
+            n: update_throughput(impl, n, seed=0, measure_ms=15_000.0)
+            for n in CLIENTS
+        }
+    return curves
+
+
+def test_fig9_update_throughput(benchmark, results_dir):
+    curves = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    write_result(
+        results_dir,
+        "fig9_update_throughput.txt",
+        format_throughput_curve(
+            "Fig. 9 — append-delete pairs/s vs clients "
+            "(paper ceilings: NVRAM 45, group 5, RPC 5)",
+            curves,
+            "append-delete pairs per second (write throughput is 2x)",
+        ),
+    )
+    group, rpc, nvram = curves["group"], curves["rpc"], curves["nvram"]
+    # Flat ceilings: one client is enough to saturate.
+    for impl_curve, ceiling, low, high in (
+        (group, "group", 4.0, 6.5),
+        (rpc, "rpc", 3.5, 6.5),
+        (nvram, "nvram", 35.0, 60.0),
+    ):
+        for n in CLIENTS:
+            assert low <= impl_curve[n] <= high, (
+                f"{ceiling} at {n} clients: {impl_curve[n]:.1f} pairs/s "
+                f"outside [{low}, {high}]"
+            )
+    # NVRAM is roughly an order of magnitude above the disk services.
+    assert nvram[7] > group[7] * 6.0

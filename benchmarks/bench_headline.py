@@ -1,0 +1,30 @@
+"""Experiment E5 — the paper's headline numbers (abstract/conclusion).
+
+"The group directory service allows for 627 lookup operations per
+second and 88 update operations per second" (updates measured with
+NVRAM; an append-delete pair is two updates, so 44 pairs/s ≈ 88
+updates/s).
+"""
+
+from repro.bench import lookup_throughput, update_throughput
+
+from conftest import write_result
+
+
+def run_headline():
+    lookups = lookup_throughput("group", 7, seed=0, measure_ms=8_000.0)
+    pairs = update_throughput("nvram", 7, seed=0, measure_ms=15_000.0)
+    return lookups, pairs * 2.0
+
+
+def test_headline_numbers(benchmark, results_dir):
+    lookups, updates = benchmark.pedantic(run_headline, rounds=1, iterations=1)
+    write_result(
+        results_dir,
+        "e5_headline.txt",
+        "E5 — headline throughput of the group directory service\n"
+        f"  lookups/s (7 clients):        {lookups:6.0f}   (paper: 627)\n"
+        f"  updates/s (NVRAM, 7 clients): {updates:6.0f}   (paper: 88)",
+    )
+    assert 520 <= lookups <= 820
+    assert 70 <= updates <= 120

@@ -1,0 +1,80 @@
+"""Experiment E9 (ablation) — replication factor scaling.
+
+Section 3 claims the protocol works unchanged for "four or more
+replicas", and section 5 argues a triplicated RPC service would need
+4 RPCs per update where the group service still pays one SendToGroup.
+This ablation measures how update latency and multicast cost scale
+with the number of replicas (3 → 5 → 7), and contrasts it with the
+n-1 point-to-point RPCs an RPC design would need.
+"""
+
+from repro.cluster import GroupServiceCluster
+
+from conftest import write_result
+
+
+def group_update_cost(n_servers: int, seed: int = 0):
+    """(update latency ms, group frames per update) at *n_servers*."""
+    cluster = GroupServiceCluster(
+        n_servers=n_servers,
+        seed=seed,
+        resilience=n_servers - 1,
+        name=f"rf{n_servers}",
+    )
+    cluster.start()
+    cluster.wait_operational()
+    client = cluster.add_client("c")
+    root = cluster.root_capability
+    prefix = f"grp.dirsvc.rf{n_servers}."
+    out = {}
+
+    def work():
+        target = yield from client.create_dir()  # warm everything
+        yield cluster.sim.sleep(500.0)
+        before_frames = {
+            k: v
+            for k, v in cluster.network.stats.frames_by_kind.items()
+            if k.startswith(prefix) and not k.endswith((".hb", ".echo"))
+        }
+        start = cluster.sim.now
+        yield from client.append_row(root, "probe", (target,))
+        out["latency"] = cluster.sim.now - start
+        yield cluster.sim.sleep(100.0)
+        after_frames = {
+            k: v
+            for k, v in cluster.network.stats.frames_by_kind.items()
+            if k.startswith(prefix) and not k.endswith((".hb", ".echo"))
+        }
+        out["frames"] = sum(after_frames.values()) - sum(before_frames.values())
+
+    cluster.run_process(work())
+    return out["latency"], out["frames"]
+
+
+def test_replication_factor_scaling(benchmark, results_dir):
+    def run():
+        return {n: group_update_cost(n) for n in (3, 5, 7)}
+
+    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "E9 — update cost vs replication factor (group service, r = n-1)",
+        f"{'replicas':<10}{'latency':>12}{'grp frames':>12}{'RPC-design frames':>20}",
+    ]
+    for n, (latency, frames) in sorted(costs.items()):
+        rpc_frames = 3 * (n - 1)  # n-1 point-to-point RPCs, 3 packets each
+        lines.append(f"{n:<10}{latency:>10.1f} ms{frames:>12}{rpc_frames:>20}")
+    lines.append(
+        "(the multicast keeps group frames ~flat: 1 bc + n-1 acks + "
+        "commit; an RPC design pays 3(n-1) and serializes them)"
+    )
+    write_result(results_dir, "e9_replication_factor.txt", "\n".join(lines))
+
+    lat3, frames3 = costs[3]
+    lat7, frames7 = costs[7]
+    # Latency is dominated by the disks, not by replica count: going
+    # from 3 to 7 replicas costs only a few extra milliseconds.
+    assert lat7 < lat3 * 1.15
+    # Frame growth is the n-1 acks only (no extra multicasts).
+    assert frames7 - frames3 == 4
+    # Always cheaper than the point-to-point equivalent at 7 replicas.
+    assert frames7 < 3 * 6

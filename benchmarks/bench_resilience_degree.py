@@ -1,0 +1,85 @@
+"""Experiment E6 (ablation) — the resilience-degree knob.
+
+Section 1: "By setting r, the programmer can trade performance against
+fault tolerance." This ablation measures SendToGroup's packet count
+and latency for r = 0, 1, 2 in a three-member group, plus the effect
+of server threads on the Fig. 8 load-balancing heuristic (E6b).
+"""
+
+from repro.bench import lookup_throughput
+from repro.group import GroupMember
+from repro.net import Network
+from repro.rpc import Transport
+from repro.sim import Simulator
+
+from conftest import write_result
+
+
+def send_cost(resilience: int) -> tuple[int, float]:
+    """(packets, latency_ms) of one SendToGroup at *resilience*."""
+    sim = Simulator(seed=0)
+    network = Network(sim)
+    transports = {a: Transport(sim, network.attach(a)) for a in ("a", "b", "c")}
+    members = {a: GroupMember(t, "g") for a, t in transports.items()}
+    members["a"].create(resilience)
+
+    def join(addr):
+        yield from members[addr].join()
+
+    for addr in ("b", "c"):
+        sim.run_until_complete(sim.spawn(join(addr)))
+    out = {}
+
+    def run():
+        yield from members["b"].send_to_group("warm")
+        yield sim.sleep(5.0)
+        snapshot = network.stats.snapshot()
+        start = sim.now
+        yield from members["b"].send_to_group("measured")
+        out["latency"] = sim.now - start
+        yield sim.sleep(2.0)
+        after = network.stats.snapshot()
+        interesting = ("grp.g.req", "grp.g.bc", "grp.g.ack", "grp.g.commit")
+        out["packets"] = sum(
+            after.get(k, 0) - snapshot.get(k, 0) for k in interesting
+        )
+
+    sim.run_until_complete(sim.spawn(run()))
+    return out["packets"], out["latency"]
+
+
+def test_resilience_degree_cost(benchmark, results_dir):
+    def run():
+        return {r: send_cost(r) for r in (0, 1, 2)}
+
+    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["E6 — SendToGroup cost vs resilience degree (3 members)"]
+    for r, (packets, latency) in sorted(costs.items()):
+        lines.append(f"  r={r}: {packets} packets, {latency:5.2f} ms")
+    write_result(results_dir, "e6_resilience.txt", "\n".join(lines))
+    # More resilience, more packets, more latency.
+    assert costs[0][0] < costs[1][0] <= costs[2][0]
+    assert costs[0][1] < costs[2][1]
+    assert costs[2][0] == 5  # the paper's r=2 count
+
+
+def test_server_threads_ablation(benchmark, results_dir):
+    """E6b: with more listening threads per server, NOTHERE stops
+    firing and the port-cache heuristic's imbalance disappears —
+    throughput approaches the ideal bound, unlike the measured system."""
+    def run():
+        return {
+            threads: lookup_throughput(
+                "group", 7, seed=0, measure_ms=5_000.0, server_threads=threads
+            )
+            for threads in (1, 2, 4)
+        }
+
+    by_threads = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["E6b — Fig. 8 saturation vs server threads (7 clients, group)"]
+    for threads, value in sorted(by_threads.items()):
+        lines.append(f"  threads={threads}: {value:6.0f} lookups/s")
+    lines.append("  (paper measured 652/s; ideal bound is 1000/s)")
+    write_result(results_dir, "e6b_threads.txt", "\n".join(lines))
+    assert by_threads[1] < by_threads[4]
+    assert by_threads[4] > 900  # near-ideal once bouncing stops

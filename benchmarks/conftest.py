@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark suite.
+
+Each bench regenerates one table/figure of the paper (or one ablation)
+and writes its rendered output under ``benchmarks/results/`` so the
+numbers recorded in EXPERIMENTS.md can be re-derived at any time.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    (results_dir / name).write_text(text + "\n")
+    print("\n" + text)

@@ -1,0 +1,39 @@
+"""repro — a reproduction of Kaashoek, Tanenbaum & Verstoep (ICDCS '93),
+"Using Group Communication to Implement a Fault-Tolerant Directory
+Service", as a complete simulated-Amoeba stack in Python.
+
+Top-level convenience imports cover the public API most users need:
+deployment builders, the client, capabilities, and the simulator. The
+full map is in README.md; per-subsystem detail lives in the package
+docstrings (`repro.group`, `repro.directory`, ...).
+"""
+
+from repro.amoeba import ALL_RIGHTS, Capability, Port, Rights, restrict
+from repro.cluster import (
+    GroupServiceCluster,
+    NfsServiceCluster,
+    NvramServiceCluster,
+    ReplicatedBulletCluster,
+    RpcServiceCluster,
+)
+from repro.directory import DirectoryClient
+from repro.sim import LatencyModel, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_RIGHTS",
+    "Capability",
+    "DirectoryClient",
+    "GroupServiceCluster",
+    "LatencyModel",
+    "NfsServiceCluster",
+    "NvramServiceCluster",
+    "Port",
+    "ReplicatedBulletCluster",
+    "Rights",
+    "RpcServiceCluster",
+    "Simulator",
+    "restrict",
+    "__version__",
+]

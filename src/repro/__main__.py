@@ -1,0 +1,130 @@
+"""Command-line entry point: regenerate the paper's results.
+
+Usage::
+
+    python -m repro fig7            # the latency table
+    python -m repro fig8            # lookup throughput curves
+    python -m repro fig9            # update throughput curves
+    python -m repro all             # everything above
+    python -m repro demo            # the narrated fault-tolerance tour
+
+Each command prints the measured numbers next to the paper's. For the
+full experiment set (ablations included) run
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import (
+    fig7_table,
+    format_fig7,
+    format_throughput_curve,
+    lookup_throughput,
+    update_throughput,
+)
+from repro.bench.tables import shape_check_fig7
+
+
+def cmd_fig7(args) -> int:
+    table = fig7_table(iterations=args.iterations, seed=args.seed)
+    print(format_fig7(table))
+    problems = shape_check_fig7(table)
+    if problems:
+        print("\nSHAPE CLAIMS VIOLATED:")
+        for problem in problems:
+            print(" -", problem)
+        return 1
+    print("\nall of the paper's ordering/ratio claims reproduced.")
+    return 0
+
+
+def cmd_fig8(args) -> int:
+    curves = {}
+    for impl in ("group", "nvram", "rpc"):
+        curves[impl] = {
+            n: lookup_throughput(impl, n, seed=args.seed, measure_ms=6_000.0)
+            for n in range(1, 8)
+        }
+    print(
+        format_throughput_curve(
+            "Fig. 8 — lookup throughput vs clients "
+            "(paper saturation: group 652/s, RPC 520/s)",
+            curves,
+            "total lookups per second",
+        )
+    )
+    return 0
+
+
+def cmd_fig9(args) -> int:
+    curves = {}
+    for impl in ("group", "nvram", "rpc"):
+        curves[impl] = {
+            n: update_throughput(impl, n, seed=args.seed, measure_ms=15_000.0)
+            for n in (1, 2, 3, 5, 7)
+        }
+    print(
+        format_throughput_curve(
+            "Fig. 9 — append-delete pairs/s vs clients "
+            "(paper ceilings: NVRAM 45, group 5, RPC 5)",
+            curves,
+            "append-delete pairs per second",
+        )
+    )
+    return 0
+
+
+def cmd_all(args) -> int:
+    status = cmd_fig7(args)
+    print()
+    cmd_fig8(args)
+    print()
+    cmd_fig9(args)
+    return status
+
+
+def cmd_demo(args) -> int:
+    import pathlib
+    import runpy
+
+    demo = pathlib.Path(__file__).resolve().parents[2] / "examples" / (
+        "fault_tolerance_demo.py"
+    )
+    if demo.exists():
+        runpy.run_path(str(demo), run_name="__main__")
+        return 0
+    print("examples/fault_tolerance_demo.py not found", file=sys.stderr)
+    return 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the ICDCS'93 fault-tolerant directory "
+        "service results.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "--iterations", type=int, default=12, help="samples per Fig. 7 cell"
+    )
+    parser.add_argument(
+        "command",
+        choices=["fig7", "fig8", "fig9", "all", "demo"],
+        help="which artifact to regenerate",
+    )
+    args = parser.parse_args(argv)
+    handler = {
+        "fig7": cmd_fig7,
+        "fig8": cmd_fig8,
+        "fig9": cmd_fig9,
+        "all": cmd_all,
+        "demo": cmd_demo,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

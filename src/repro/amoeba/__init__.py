@@ -1,0 +1,28 @@
+"""Amoeba object naming: ports, rights, and 128-bit capabilities.
+
+In Amoeba every object (file, directory, disk partition, ...) is named
+by a *capability*: a 128-bit value containing the service port, an
+object number, a rights mask, and a cryptographic check field that
+makes capabilities unforgeable. The directory service exists to map
+ASCII names to these capabilities (section 2 of the paper).
+"""
+
+from repro.amoeba.capability import (
+    ALL_RIGHTS,
+    Capability,
+    Port,
+    Rights,
+    new_check,
+    restrict,
+    validate,
+)
+
+__all__ = [
+    "ALL_RIGHTS",
+    "Capability",
+    "Port",
+    "Rights",
+    "new_check",
+    "restrict",
+    "validate",
+]

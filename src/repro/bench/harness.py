@@ -1,0 +1,214 @@
+"""Experiment runners for the paper's evaluation (section 4).
+
+Implementations are addressed by name:
+
+* ``"group"`` — the triplicated group-communication service;
+* ``"rpc"`` — the duplicated RPC service (previous design);
+* ``"nfs"`` — the single-copy SunOS/NFS-like baseline;
+* ``"nvram"`` — the group service with the 24 KB NVRAM board.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import (
+    GroupServiceCluster,
+    NfsServiceCluster,
+    NvramServiceCluster,
+    RpcServiceCluster,
+)
+from repro.directory.nfs_server import NfsFileClient
+from repro.storage.bullet import BulletClient
+from repro.workloads.clients import ClosedLoopClient, run_closed_loop
+from repro.workloads.generators import (
+    append_delete_once,
+    lookup_once,
+    tmp_file_once,
+)
+from repro.workloads.metrics import Metrics
+
+IMPLEMENTATIONS = ("group", "rpc", "nfs", "nvram")
+
+#: Fig. 7 of the paper, msec (columns: implementation).
+PAPER_FIG7 = {
+    "append_delete": {"group": 184, "rpc": 192, "nfs": 87, "nvram": 27},
+    "tmp_file": {"group": 215, "rpc": 277, "nfs": 111, "nvram": 52},
+    "lookup": {"group": 5, "rpc": 5, "nfs": 6, "nvram": 5},
+}
+
+#: Saturation throughputs the paper reports around Figs. 8 and 9.
+PAPER_SATURATION = {
+    "lookup": {"group": 652, "rpc": 520, "nvram": 652},
+    "append_delete": {"group": 5, "rpc": 5, "nvram": 45},
+}
+
+
+@dataclass
+class Deployment:
+    """A booted cluster plus its file service for the tmp-file test."""
+
+    impl: str
+    cluster: object
+
+    def add_client(self, name: str):
+        return self.cluster.add_client(name)
+
+    def file_service_for(self, directory_client):
+        """A file-service client sharing the directory client's RPC."""
+        if self.impl == "nfs":
+            return NfsFileClient(
+                directory_client.rpc, self.cluster.file_server.port
+            )
+        return BulletClient(directory_client.rpc, self.cluster.sites[0].bullet.port)
+
+    @property
+    def root(self):
+        return self.cluster.root_capability
+
+    @property
+    def sim(self):
+        return self.cluster.sim
+
+
+def build_deployment(impl: str, seed: int = 0, **kwargs) -> Deployment:
+    """Boot one implementation and wait until it serves."""
+    if impl == "group":
+        cluster = GroupServiceCluster(seed=seed, name="grp", **kwargs)
+    elif impl == "rpc":
+        cluster = RpcServiceCluster(seed=seed, name="rpc", **kwargs)
+    elif impl == "nfs":
+        cluster = NfsServiceCluster(seed=seed, name="nfs", **kwargs)
+    elif impl == "nvram":
+        cluster = NvramServiceCluster(seed=seed, name="nvr", **kwargs)
+    else:
+        raise ValueError(f"unknown implementation {impl!r}")
+    cluster.start()
+    cluster.wait_operational()
+    return Deployment(impl, cluster)
+
+
+# ----------------------------------------------------------------------
+# Fig. 7: single-client latency
+# ----------------------------------------------------------------------
+
+def fig7_cell(impl: str, test: str, iterations: int = 15, seed: int = 0) -> float:
+    """Mean latency (ms) of one Fig. 7 cell."""
+    deployment = build_deployment(impl, seed=seed)
+    client = deployment.add_client("bench")
+    sim = deployment.sim
+    root = deployment.root
+    out = {}
+
+    def driver():
+        target = yield from client.create_dir()  # warm locate + a capability
+        if test == "lookup":
+            yield from client.append_row(root, "bench-name", (target,))
+        file_service = deployment.file_service_for(client)
+        if test == "tmp_file":
+            # Warm the file service's port cache outside the window.
+            warm = yield from file_service.create(b"warm")
+            yield from file_service.read(warm)
+        samples = []
+        for i in range(iterations):
+            start = sim.now
+            if test == "append_delete":
+                yield from append_delete_once(client, root, f"t{i}", target)
+            elif test == "tmp_file":
+                yield from tmp_file_once(client, root, file_service, f"f{i}")
+            elif test == "lookup":
+                yield from lookup_once(client, root, "bench-name")
+            else:
+                raise ValueError(f"unknown test {test!r}")
+            samples.append(sim.now - start)
+        out["mean"] = sum(samples) / len(samples)
+
+    deployment.cluster.run_process(driver())
+    return out["mean"]
+
+
+def fig7_table(iterations: int = 15, seed: int = 0) -> dict:
+    """The whole Fig. 7: {test: {impl: measured_ms}}."""
+    table: dict = {}
+    for test in ("append_delete", "tmp_file", "lookup"):
+        table[test] = {}
+        for impl in IMPLEMENTATIONS:
+            table[test][impl] = fig7_cell(impl, test, iterations, seed)
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figs. 8 and 9: multi-client throughput
+# ----------------------------------------------------------------------
+
+def lookup_throughput(
+    impl: str,
+    n_clients: int,
+    seed: int = 0,
+    warmup_ms: float = 2_000.0,
+    measure_ms: float = 10_000.0,
+    **deploy_kwargs,
+) -> float:
+    """One Fig. 8 point: total lookups/second with *n_clients*."""
+    deployment = build_deployment(impl, seed=seed, **deploy_kwargs)
+    sim = deployment.sim
+    root = deployment.root
+    metrics = Metrics()
+
+    setup_client = deployment.add_client("setup")
+
+    def setup():
+        target = yield from setup_client.create_dir()
+        yield from setup_client.append_row(root, "hot-name", (target,))
+
+    deployment.cluster.run_process(setup())
+
+    clients = []
+    for i in range(n_clients):
+        directory_client = deployment.add_client(f"load{i}")
+
+        def iteration(_n, c=directory_client):
+            yield from lookup_once(c, root, "hot-name")
+
+        clients.append(
+            ClosedLoopClient(sim, f"load{i}", iteration, metrics, "lookup")
+        )
+    window = run_closed_loop(sim, clients, warmup_ms, measure_ms)
+    return metrics.throughput_per_second("lookup", window)
+
+
+def update_throughput(
+    impl: str,
+    n_clients: int,
+    seed: int = 0,
+    warmup_ms: float = 2_000.0,
+    measure_ms: float = 20_000.0,
+    **deploy_kwargs,
+) -> float:
+    """One Fig. 9 point: append-delete PAIRS/second with *n_clients*."""
+    deployment = build_deployment(impl, seed=seed, **deploy_kwargs)
+    sim = deployment.sim
+    root = deployment.root
+    metrics = Metrics()
+
+    setup_client = deployment.add_client("setup")
+    target_holder = {}
+
+    def setup():
+        target_holder["cap"] = yield from setup_client.create_dir()
+
+    deployment.cluster.run_process(setup())
+    target = target_holder["cap"]
+
+    clients = []
+    for i in range(n_clients):
+        directory_client = deployment.add_client(f"load{i}")
+
+        def iteration(n, c=directory_client, tag=i):
+            yield from append_delete_once(c, root, f"w{tag}-{n}", target)
+
+        clients.append(
+            ClosedLoopClient(sim, f"load{i}", iteration, metrics, "pair")
+        )
+    window = run_closed_loop(sim, clients, warmup_ms, measure_ms)
+    return metrics.throughput_per_second("pair", window)

@@ -1,0 +1,92 @@
+"""Render experiment results next to the paper's reported numbers."""
+
+from __future__ import annotations
+
+from repro.bench import harness as _h
+
+_IMPL_LABELS = {
+    "group": "Group (3)",
+    "rpc": "RPC (2)",
+    "nfs": "Sun NFS (1)",
+    "nvram": "Group+NVRAM (3)",
+}
+
+_TEST_LABELS = {
+    "append_delete": "Append-delete",
+    "tmp_file": "Tmp file",
+    "lookup": "Directory lookup",
+}
+
+
+def format_fig7(measured: dict) -> str:
+    """ASCII rendering of Fig. 7 with measured vs paper columns."""
+    lines = [
+        "Fig. 7 — latency of directory operations (ms), measured vs paper",
+        "-" * 78,
+        f"{'Operation':<18}" + "".join(
+            f"{_IMPL_LABELS[i]:>15}" for i in _h.IMPLEMENTATIONS
+        ),
+    ]
+    for test in ("append_delete", "tmp_file", "lookup"):
+        cells = []
+        for impl in _h.IMPLEMENTATIONS:
+            got = measured[test][impl]
+            want = _h.PAPER_FIG7[test][impl]
+            cells.append(f"{got:7.1f}/{want:<4d} ")
+        lines.append(f"{_TEST_LABELS[test]:<18}" + "".join(f"{c:>15}" for c in cells))
+    lines.append("-" * 78)
+    lines.append("(each cell: measured / paper)")
+    return "\n".join(lines)
+
+
+def format_throughput_curve(
+    title: str, curves: dict[str, dict[int, float]], unit: str
+) -> str:
+    """ASCII rendering of a Fig. 8/9-style curve set.
+
+    *curves* maps implementation -> {n_clients: throughput}.
+    """
+    client_counts = sorted({n for c in curves.values() for n in c})
+    lines = [title, "-" * 72]
+    header = f"{'clients':<9}" + "".join(
+        f"{_IMPL_LABELS.get(i, i):>18}" for i in curves
+    )
+    lines.append(header)
+    for n in client_counts:
+        row = f"{n:<9}"
+        for impl in curves:
+            value = curves[impl].get(n)
+            row += f"{value:>18.1f}" if value is not None else f"{'-':>18}"
+        lines.append(row)
+    lines.append("-" * 72)
+    lines.append(f"({unit})")
+    return "\n".join(lines)
+
+
+def shape_check_fig7(measured: dict, tolerance: float = 0.35) -> list[str]:
+    """The orderings and ratios the reproduction must preserve.
+
+    Returns a list of violated claims (empty = shape reproduced).
+    """
+    problems = []
+    ad, tf = measured["append_delete"], measured["tmp_file"]
+
+    def claim(condition: bool, text: str) -> None:
+        if not condition:
+            problems.append(text)
+
+    claim(ad["group"] < ad["rpc"], "group append-delete should beat RPC")
+    claim(tf["group"] < tf["rpc"], "group tmp-file should beat RPC")
+    claim(ad["nvram"] < ad["nfs"], "NVRAM should beat even Sun NFS")
+    ratio = ad["group"] / ad["nvram"]
+    claim(4.0 < ratio < 10.0, f"NVRAM speedup on append-delete = {ratio:.1f}, "
+                              "paper reports 6.8x")
+    claim(ad["nfs"] < ad["group"], "NFS (no fault tolerance) should beat group")
+    factor = ad["group"] / ad["nfs"]
+    claim(1.5 < factor < 3.0, f"fault-tolerance cost factor = {factor:.1f}, "
+                              "paper reports 2.1x")
+    for impl in _h.IMPLEMENTATIONS:
+        got, want = measured["lookup"][impl], _h.PAPER_FIG7["lookup"][impl]
+        claim(abs(got - want) / want < tolerance,
+              f"lookup latency for {impl}: {got:.1f} vs paper {want}")
+    return problems

@@ -1,0 +1,566 @@
+"""Deployment builders: whole simulated machine rooms in one call.
+
+The paper's Fig. 3 organization for the group service: three directory
+servers, three Bullet servers, and three disks, where directory server
+*i* uses Bullet server *i* and both share disk *i*. This module builds
+that (and the RPC / NVRAM / NFS deployments) on a simulated Ethernet,
+and provides crash/restart/partition helpers for tests, examples, and
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.amoeba.capability import owner_capability
+from repro.directory.admin import AdminPartition
+from repro.directory.client import DirectoryClient
+from repro.directory.config import ServiceConfig
+from repro.directory.group_server import GroupDirectoryServer
+from repro.directory.state import ROOT_OBJECT
+from repro.errors import SimulationError
+from repro.net.network import Network
+from repro.rpc.client import RpcClient, RpcTimings
+from repro.rpc.transport import Transport
+from repro.sim.latency import LatencyModel
+from repro.sim.scheduler import Simulator
+from repro.storage.bullet import BulletServer
+from repro.storage.disk import Disk, RawPartition
+
+#: Disk layout: Bullet extents use the disk at large; the directory
+#: server's raw partition sits at this block offset.
+ADMIN_PARTITION_START = 2048
+ADMIN_PARTITION_BLOCKS = 1024
+
+
+class Site:
+    """One replica site: directory machine + Bullet machine + disk."""
+
+    def __init__(self, cluster: "BaseCluster", index: int):
+        self.cluster = cluster
+        self.index = index
+        sim, network = cluster.sim, cluster.network
+        self.dir_address = f"{cluster.name}.dir{index}"
+        self.bullet_address = f"{cluster.name}.bullet{index}"
+        self.disk = Disk(
+            sim,
+            f"{cluster.name}.disk{index}",
+            latency=cluster.latency.disk,
+            blocks=ADMIN_PARTITION_START + ADMIN_PARTITION_BLOCKS,
+        )
+        self.dir_transport = Transport(sim, network.attach(self.dir_address))
+        self.bullet_transport = Transport(sim, network.attach(self.bullet_address))
+        self.bullet = BulletServer(
+            self.bullet_transport, self.disk, f"{cluster.name}.{index}"
+        )
+        self.partition = RawPartition(
+            self.disk, ADMIN_PARTITION_START, ADMIN_PARTITION_BLOCKS
+        )
+        self.server = None  # set by the cluster
+
+    # -- failure injection --------------------------------------------------
+
+    def crash_directory_server(self) -> None:
+        """Fail-stop crash of the directory-server machine only."""
+        if self.server is not None:
+            self.server.crash()
+        self.dir_transport.shutdown()
+
+    def crash_bullet_server(self) -> None:
+        """Fail-stop crash of the Bullet machine (files survive on disk)."""
+        self.bullet.crash()
+        self.bullet_transport.shutdown()
+
+    def crash_site(self) -> None:
+        """Crash both machines of the site (the disk keeps its data)."""
+        self.crash_directory_server()
+        self.crash_bullet_server()
+
+    def restart_bullet_server(self) -> None:
+        self.bullet_transport.restart()
+        self.bullet = BulletServer(
+            self.bullet_transport, self.disk, f"{self.cluster.name}.{self.index}"
+        )
+
+
+class BaseCluster:
+    """Common scaffolding: simulator, network, client factory."""
+
+    def __init__(
+        self,
+        name: str,
+        seed: int = 0,
+        latency: LatencyModel | None = None,
+        sim: Simulator | None = None,
+        network: Network | None = None,
+    ):
+        self.name = name
+        self.sim = sim or Simulator(seed=seed)
+        self.latency = latency or LatencyModel.paper_testbed()
+        self.network = network or Network(self.sim, self.latency)
+        self.clients: dict[str, DirectoryClient] = {}
+
+    def add_client(
+        self, client_name: str, rpc_timings: RpcTimings | None = None
+    ) -> DirectoryClient:
+        """Attach a new client machine and return its DirectoryClient."""
+        address = f"{self.name}.client.{client_name}"
+        transport = Transport(self.sim, self.network.attach(address))
+        # Amoeba's trans() keeps retrying until it finds a server, so
+        # the default client is persistent in the face of NOTHERE
+        # bounces and locate misses.
+        client = DirectoryClient(
+            transport,
+            self.service_port,
+            rpc_timings
+            or RpcTimings(
+                reply_timeout_ms=10_000.0, max_attempts=40, locate_attempts=20
+            ),
+        )
+        self.clients[client_name] = client
+        return client
+
+    @property
+    def service_port(self):
+        raise NotImplementedError
+
+    def run(self, until: float | None = None) -> float:
+        return self.sim.run(until=until)
+
+    def run_process(self, gen, name: str = "driver"):
+        """Spawn *gen* and run the simulation until it completes."""
+        return self.sim.run_until_complete(self.sim.spawn(gen, name))
+
+    def report(self) -> dict:
+        """Deployment-wide observability snapshot.
+
+        Wire totals, per-kind frame counts, and (when the deployment
+        has sites) per-site disk and CPU figures. Benches and examples
+        print this to explain *where* the costs went.
+        """
+        out = {
+            "simulated_ms": self.sim.now,
+            "frames_sent": self.network.stats.frames_sent,
+            "bytes_sent": self.network.stats.bytes_sent,
+            "frames_dropped": self.network.stats.frames_dropped,
+            "frames_by_kind": self.network.stats.snapshot(),
+        }
+        sites = getattr(self, "sites", None)
+        if sites:
+            out["sites"] = [
+                {
+                    "disk_ops": dict(site.disk.ops),
+                    "dir_cpu_busy_ms": site.dir_transport.cpu.busy_ms,
+                    "bullet_cpu_busy_ms": site.bullet_transport.cpu.busy_ms,
+                }
+                for site in sites
+            ]
+        servers = getattr(self, "servers", None)
+        if servers:
+            out["servers"] = [
+                {
+                    "reads": getattr(s, "reads_served", None),
+                    "writes": getattr(s, "writes_served", None),
+                    "refused": getattr(s, "requests_refused", None),
+                    "operational": getattr(s, "operational", None),
+                }
+                for s in servers
+                if s is not None
+            ]
+        return out
+
+    def format_report(self) -> str:
+        """Human-readable rendering of :meth:`report`."""
+        report = self.report()
+        lines = [
+            f"deployment {self.name!r} at t={report['simulated_ms']:.0f} ms",
+            f"  wire: {report['frames_sent']} frames, "
+            f"{report['bytes_sent']} bytes, "
+            f"{report['frames_dropped']} dropped",
+        ]
+        top = sorted(
+            report["frames_by_kind"].items(), key=lambda kv: -kv[1]
+        )[:6]
+        for kind, count in top:
+            lines.append(f"    {kind:<28}{count:>8}")
+        for i, site in enumerate(report.get("sites", [])):
+            lines.append(
+                f"  site {i}: disk {site['disk_ops']}, "
+                f"dir-cpu {site['dir_cpu_busy_ms']:.0f} ms busy"
+            )
+        for i, server in enumerate(report.get("servers", [])):
+            lines.append(
+                f"  server {i}: reads={server['reads']} "
+                f"writes={server['writes']} refused={server['refused']} "
+                f"operational={server['operational']}"
+            )
+        return "\n".join(lines)
+
+
+class GroupServiceCluster(BaseCluster):
+    """The triplicated group directory service of the paper."""
+
+    def __init__(
+        self,
+        n_servers: int = 3,
+        name: str = "grp",
+        seed: int = 0,
+        latency: LatencyModel | None = None,
+        config: ServiceConfig | None = None,
+        sim: Simulator | None = None,
+        network: Network | None = None,
+        **config_overrides,
+    ):
+        super().__init__(name, seed, latency, sim, network)
+        self.sites = [Site(self, i) for i in range(n_servers)]
+        if config is None:
+            config = ServiceConfig(
+                name=name,
+                server_addresses=tuple(site.dir_address for site in self.sites),
+                **config_overrides,
+            )
+        self.config = config
+        for site in self.sites:
+            site.server = self._make_server(site)
+
+    def _make_server(self, site: Site) -> GroupDirectoryServer:
+        admin = AdminPartition(site.partition, site.index, self.config.n_servers)
+        return GroupDirectoryServer(
+            self.config,
+            site.index,
+            site.dir_transport,
+            site.bullet.port,
+            admin,
+        )
+
+    @property
+    def service_port(self):
+        return self.config.port
+
+    @property
+    def servers(self) -> list[GroupDirectoryServer]:
+        return [site.server for site in self.sites]
+
+    @property
+    def root_capability(self):
+        """The service's root directory capability (deterministic)."""
+        return owner_capability(
+            self.config.port, ROOT_OBJECT, self.config.root_check
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Boot every directory server (each begins with recovery)."""
+        for site in self.sites:
+            site.server.start()
+
+    def wait_operational(self, timeout_ms: float = 30_000.0, quorum: int | None = None):
+        """Run the simulation until the servers are serving.
+
+        *quorum* defaults to all currently-alive servers.
+        """
+        needed = quorum if quorum is not None else sum(
+            1 for s in self.servers if s is not None and s.alive
+        )
+        deadline = self.sim.now + timeout_ms
+        while self.sim.now < deadline:
+            up = sum(1 for s in self.servers if s is not None and s.operational)
+            if up >= needed:
+                return
+            self.sim.run(until=min(self.sim.now + 20.0, deadline))
+        raise SimulationError(
+            f"service not operational after {timeout_ms} ms "
+            f"({[s.operational for s in self.servers]})"
+        )
+
+    # -- failure injection --------------------------------------------------------
+
+    def crash_server(self, index: int) -> None:
+        """Crash directory server *index* (its disk and Bullet survive)."""
+        self.sites[index].crash_directory_server()
+
+    def restart_server(self, index: int) -> GroupDirectoryServer:
+        """Reboot directory server *index*; it re-runs recovery."""
+        site = self.sites[index]
+        site.dir_transport.restart()
+        site.server = self._make_server(site)
+        site.server.start()
+        return site.server
+
+    def partition_network(self, *groups) -> None:
+        """Split the network; each group lists *server indexes*. The
+        Bullet machine of a site follows its site. The FIRST group
+        stays with all unmentioned machines (clients), so clients keep
+        talking to it unless moved explicitly."""
+        address_groups = []
+        for group in groups[1:]:
+            addresses = []
+            for index in group:
+                addresses.append(self.sites[index].dir_address)
+                addresses.append(self.sites[index].bullet_address)
+            address_groups.append(addresses)
+        self.network.partitions.split(address_groups)
+
+    def heal_network(self) -> None:
+        self.network.partitions.heal()
+
+    # -- verification ---------------------------------------------------------------
+
+    def operational_servers(self) -> list[GroupDirectoryServer]:
+        return [s for s in self.servers if s is not None and s.operational]
+
+    def replicas_consistent(self) -> bool:
+        """All operational replicas hold identical state."""
+        fingerprints = {
+            s.state.fingerprint() for s in self.operational_servers()
+        }
+        return len(fingerprints) <= 1
+
+
+class NvramServiceCluster(GroupServiceCluster):
+    """The group service with a 24 KB NVRAM board per server."""
+
+    def __init__(self, *args, nvram_bytes: int | None = None, **kwargs):
+        self._nvram_bytes = nvram_bytes
+        super().__init__(*args, **kwargs)
+
+    def _make_server(self, site: Site):
+        from repro.directory.nvram_server import NvramDirectoryServer
+        from repro.storage.nvram import PAPER_NVRAM_BYTES, Nvram
+
+        nvram = getattr(site, "nvram", None)
+        if nvram is None:
+            nvram = Nvram(
+                self.sim,
+                capacity_bytes=self._nvram_bytes or PAPER_NVRAM_BYTES,
+                name=f"{self.name}.nvram{site.index}",
+            )
+            site.nvram = nvram  # the board survives server restarts
+        admin = AdminPartition(site.partition, site.index, self.config.n_servers)
+        return NvramDirectoryServer(
+            self.config,
+            site.index,
+            site.dir_transport,
+            site.bullet.port,
+            admin,
+            nvram,
+        )
+
+
+class RpcServiceCluster(BaseCluster):
+    """The duplicated RPC directory service (the previous design)."""
+
+    def __init__(
+        self,
+        name: str = "rpc",
+        seed: int = 0,
+        latency: LatencyModel | None = None,
+        config: ServiceConfig | None = None,
+        sim: Simulator | None = None,
+        network: Network | None = None,
+        **config_overrides,
+    ):
+        super().__init__(name, seed, latency, sim, network)
+        self.sites = [Site(self, i) for i in range(2)]
+        if config is None:
+            config = ServiceConfig(
+                name=name,
+                server_addresses=tuple(site.dir_address for site in self.sites),
+                **config_overrides,
+            )
+        self.config = config
+        from repro.directory.rpc_server import RpcDirectoryServer
+
+        for site in self.sites:
+            admin = AdminPartition(site.partition, site.index, 2)
+            site.server = RpcDirectoryServer(
+                self.config, site.index, site.dir_transport, site.bullet.port, admin
+            )
+
+    @property
+    def service_port(self):
+        return self.config.port
+
+    @property
+    def servers(self):
+        return [site.server for site in self.sites]
+
+    @property
+    def root_capability(self):
+        return owner_capability(self.config.port, ROOT_OBJECT, self.config.root_check)
+
+    def start(self) -> None:
+        for site in self.sites:
+            site.server.start()
+
+    def wait_operational(self, timeout_ms: float = 30_000.0):
+        deadline = self.sim.now + timeout_ms
+        while self.sim.now < deadline:
+            if all(s.operational for s in self.servers):
+                return
+            self.sim.run(until=min(self.sim.now + 20.0, deadline))
+        raise SimulationError("RPC directory service did not come up")
+
+    def crash_server(self, index: int) -> None:
+        self.sites[index].crash_directory_server()
+
+    def restart_server(self, index: int):
+        """Reboot one RPC directory server; it refreshes from its peer
+        (or its own disk when the peer is unreachable)."""
+        from repro.directory.rpc_server import RpcDirectoryServer
+
+        site = self.sites[index]
+        site.dir_transport.restart()
+        admin = AdminPartition(site.partition, site.index, 2)
+        site.server = RpcDirectoryServer(
+            self.config, site.index, site.dir_transport, site.bullet.port, admin
+        )
+        site.server.start()
+        return site.server
+
+    def settle(self, ms: float = 1000.0) -> None:
+        """Let lazy replication drain."""
+        self.sim.run(until=self.sim.now + ms)
+
+    def replicas_content_consistent(self) -> bool:
+        """Directory contents equal on both replicas (the RPC design's
+        counters legitimately differ — lazy replication)."""
+        fingerprints = {
+            s.state.content_fingerprint()
+            for s in self.servers
+            if s is not None and s.operational
+        }
+        return len(fingerprints) <= 1
+
+
+class ReplicatedBulletCluster(BaseCluster):
+    """The section-5 extension: the Bullet file service itself
+    replicated over group communication (optionally with NVRAM)."""
+
+    def __init__(
+        self,
+        name: str = "rbul",
+        seed: int = 0,
+        n_servers: int = 3,
+        nvram: bool = False,
+        latency: LatencyModel | None = None,
+        sim: Simulator | None = None,
+        network: Network | None = None,
+    ):
+        super().__init__(name, seed, latency, sim, network)
+        from repro.storage.nvram import Nvram
+        from repro.storage.replicated_bullet import (
+            ReplicatedBulletConfig,
+            ReplicatedBulletServer,
+        )
+
+        self.addresses = tuple(f"{name}.srv{i}" for i in range(n_servers))
+        self.config = ReplicatedBulletConfig(name, self.addresses)
+        self.disks = []
+        self.nvrams = []
+        self.servers = []
+        for i, address in enumerate(self.addresses):
+            transport = Transport(self.sim, self.network.attach(address))
+            disk = Disk(self.sim, f"{name}.disk{i}", latency=self.latency.disk)
+            board = Nvram(self.sim, name=f"{name}.nvram{i}") if nvram else None
+            self.disks.append(disk)
+            self.nvrams.append(board)
+            self.servers.append(
+                ReplicatedBulletServer(self.config, i, transport, disk, board)
+            )
+        self._transports = {a: self.network.nic(a) for a in self.addresses}
+
+    @property
+    def service_port(self):
+        return self.config.port
+
+    def add_file_client(self, client_name: str):
+        """A BulletClient talking to the replicated service."""
+        from repro.storage.bullet import BulletClient
+
+        address = f"{self.name}.client.{client_name}"
+        transport = Transport(self.sim, self.network.attach(address))
+        rpc = RpcClient(
+            transport, RpcTimings(reply_timeout_ms=10_000.0, max_attempts=20)
+        )
+        return BulletClient(rpc, self.config.port)
+
+    def start(self) -> None:
+        for server in self.servers:
+            server.start()
+
+    def wait_operational(self, timeout_ms: float = 30_000.0):
+        deadline = self.sim.now + timeout_ms
+        while self.sim.now < deadline:
+            if all(s.operational for s in self.servers if s.alive):
+                return
+            self.sim.run(until=min(self.sim.now + 20.0, deadline))
+        raise SimulationError("replicated bullet service did not come up")
+
+    def crash_server(self, index: int) -> None:
+        server = self.servers[index]
+        server.crash()
+        server.transport.shutdown()
+
+    def restart_server(self, index: int):
+        from repro.storage.replicated_bullet import ReplicatedBulletServer
+
+        old = self.servers[index]
+        old.transport.restart()
+        replacement = ReplicatedBulletServer(
+            self.config,
+            index,
+            old.transport,
+            self.disks[index],
+            self.nvrams[index],
+        )
+        replacement.start()
+        self.servers[index] = replacement
+        return replacement
+
+    def tables_consistent(self) -> bool:
+        tables = {
+            tuple(sorted(s.table.items()))
+            for s in self.servers
+            if s.alive and s.operational
+        }
+        return len(tables) <= 1
+
+
+class NfsServiceCluster(BaseCluster):
+    """The single-copy SunOS/NFS-like baseline."""
+
+    def __init__(
+        self,
+        name: str = "nfs",
+        seed: int = 0,
+        latency: LatencyModel | None = None,
+        sim: Simulator | None = None,
+        network: Network | None = None,
+        **config_overrides,
+    ):
+        super().__init__(name, seed, latency, sim, network)
+        from repro.directory.nfs_server import NfsDirectoryServer, NfsFileServer
+
+        self.server_address = f"{name}.server"
+        transport = Transport(self.sim, self.network.attach(self.server_address))
+        self.config = ServiceConfig(
+            name=name, server_addresses=(self.server_address,), **config_overrides
+        )
+        self.server = NfsDirectoryServer(self.config, transport)
+        self.file_server = NfsFileServer(transport, f"{name}.files")
+
+    @property
+    def service_port(self):
+        return self.config.port
+
+    @property
+    def root_capability(self):
+        return owner_capability(self.config.port, ROOT_OBJECT, self.config.root_check)
+
+    def start(self) -> None:
+        pass  # constructed running
+
+    def wait_operational(self, timeout_ms: float = 0.0):
+        return

@@ -1,0 +1,192 @@
+"""Per-server administrative data on the raw disk partition (Fig. 4).
+
+Block 0 is the **commit block**: the configuration vector (one bit per
+server: was it up in the last majority configuration this server
+belonged to?), the commit-block sequence number (updated only when a
+directory is *deleted* — the deletion must be recorded somewhere even
+though the directory's own file is gone), and the *recovering* flag
+(set while a state transfer is in progress; a server that finds it set
+at boot crashed mid-recovery, so its state may mix old and new
+directories and its sequence number must be treated as zero).
+
+Blocks 1..n-1 form the **object table**: one entry per directory
+holding the capability of the Bullet file with the directory's
+contents plus the sequence number of its last change. An entry update
+is a shadow-page commit: the new entry is written to the shadow block,
+then the home block — two synchronous random writes, which is the
+dominant disk cost of an update in the group implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.amoeba.capability import Capability
+from repro.errors import StorageError
+from repro.storage.disk import RawPartition
+
+COMMIT_BLOCK = 0
+SHADOW_BLOCK = 1
+FIRST_ENTRY_BLOCK = 2
+
+
+@dataclass
+class CommitBlock:
+    """Decoded contents of block 0."""
+
+    config_vector: tuple  # bool per server index
+    seqno: int
+    recovering: bool
+    #: High-water mark of allocated object numbers; keeps deleted
+    #: directories' numbers from being reused after a full restart.
+    next_object: int = 2
+
+    def to_bytes(self) -> bytes:
+        bits = sum((1 << i) for i, up in enumerate(self.config_vector) if up)
+        return (
+            b"CBLK"
+            + len(self.config_vector).to_bytes(1, "big")
+            + bits.to_bytes(2, "big")
+            + self.seqno.to_bytes(8, "big")
+            + (b"\x01" if self.recovering else b"\x00")
+            + self.next_object.to_bytes(3, "big")
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, n_servers: int) -> "CommitBlock":
+        if not raw or raw[:4] != b"CBLK":
+            # Virgin disk: optimistically presume everyone was in the
+            # last configuration, so first-ever boot requires all
+            # servers present (mourned set starts empty).
+            return cls(tuple(True for _ in range(n_servers)), 0, False)
+        count = raw[4]
+        bits = int.from_bytes(raw[5:7], "big")
+        return cls(
+            tuple(bool(bits & (1 << i)) for i in range(count)),
+            int.from_bytes(raw[7:15], "big"),
+            raw[15] == 1,
+            int.from_bytes(raw[16:19], "big"),
+        )
+
+
+class AdminPartition:
+    """One server's commit block + object table on its raw partition."""
+
+    def __init__(self, partition: RawPartition, server_index: int, n_servers: int):
+        self.partition = partition
+        self.server_index = server_index
+        self.n_servers = n_servers
+        # RAM mirrors (write-through); rebuilt by load() at boot.
+        self.commit = CommitBlock(tuple(True for _ in range(n_servers)), 0, False)
+        self.entries: dict[int, tuple[Capability, int]] = {}
+        self.entry_checks: dict[int, int] = {}
+        self._block_of: dict[int, int] = {}
+        self._free_blocks: list[int] = list(
+            range(FIRST_ENTRY_BLOCK, partition.length)
+        )
+
+    # -- boot ---------------------------------------------------------------
+
+    def load(self):
+        """Read the partition back after a restart (``yield from``).
+
+        Returns the decoded commit block; the object-table mirror is
+        rebuilt as a side effect.
+        """
+        raw = yield from self.partition.read_block(COMMIT_BLOCK)
+        self.commit = CommitBlock.from_bytes(raw, self.n_servers)
+        self.entries = {}
+        self.entry_checks = {}
+        self._block_of = {}
+        self._free_blocks = []
+        for index in range(FIRST_ENTRY_BLOCK, self.partition.length):
+            raw = self.partition.peek_block(index)  # sequential scan,
+            # charged as one sweep below rather than per block
+            if raw[:4] == b"DENT":
+                obj = int.from_bytes(raw[4:7], "big")
+                cap = Capability.from_bytes(raw[7:23])
+                seqno = int.from_bytes(raw[23:31], "big")
+                check = int.from_bytes(raw[31:37], "big")
+                self.entries[obj] = (cap, seqno)
+                self.entry_checks[obj] = check
+                self._block_of[obj] = index
+            else:
+                self._free_blocks.append(index)
+        # One sequential sweep over the table.
+        yield from self.partition.disk._occupy(
+            "sequential", (self.partition.length - 1) * 1024
+        )
+        return self.commit
+
+    # -- commit block ----------------------------------------------------------
+
+    def write_commit_block(
+        self, config_vector=None, seqno=None, recovering=None, next_object=None
+    ):
+        """Update and persist block 0 (one synchronous random write)."""
+        if config_vector is not None:
+            self.commit.config_vector = tuple(config_vector)
+        if seqno is not None:
+            self.commit.seqno = seqno
+        if recovering is not None:
+            self.commit.recovering = recovering
+        if next_object is not None:
+            self.commit.next_object = max(self.commit.next_object, next_object)
+        yield from self.partition.write_block(COMMIT_BLOCK, self.commit.to_bytes())
+
+    # -- object table ------------------------------------------------------------
+
+    @staticmethod
+    def _encode_entry(obj: int, cap: Capability, seqno: int, check: int) -> bytes:
+        return (
+            b"DENT"
+            + obj.to_bytes(3, "big")
+            + cap.to_bytes()
+            + seqno.to_bytes(8, "big")
+            + check.to_bytes(6, "big")
+        )
+
+    def store_entry(self, obj: int, cap: Capability, seqno: int, check: int = 0):
+        """Write one object-table entry (Bullet capability, seqno, and
+        the directory's owner check) with a shadow-page commit — two
+        synchronous random writes."""
+        block = self._block_of.get(obj)
+        if block is None:
+            if not self._free_blocks:
+                raise StorageError("object table is full")
+            block = self._free_blocks.pop(0)
+            self._block_of[obj] = block
+        encoded = self._encode_entry(obj, cap, seqno, check)
+        yield from self.partition.write_block(SHADOW_BLOCK, encoded)
+        yield from self.partition.write_block(block, encoded)
+        self.entries[obj] = (cap, seqno)
+        self.entry_checks[obj] = check
+
+    def remove_entry(self, obj: int, commit_seqno: int, next_object: int = 0):
+        """Drop a directory's entry and record the deletion in the
+        commit block's sequence number (the paper's rationale for
+        keeping a seqno there at all). The allocation high-water mark
+        rides along so deleted object numbers are never reused."""
+        block = self._block_of.pop(obj, None)
+        if block is not None:
+            yield from self.partition.write_block(block, b"")
+            self._free_blocks.append(block)
+        self.entries.pop(obj, None)
+        self.entry_checks.pop(obj, None)
+        yield from self.write_commit_block(seqno=commit_seqno, next_object=next_object)
+
+    def highest_seqno(self, ignore_recovering: bool = False) -> int:
+        """Max over entry seqnos and the commit-block seqno — the
+        value recovery compares across servers.
+
+        Zero when the *recovering* flag is set: the server crashed in
+        the middle of a state transfer, so its disk mixes old and new
+        directories (the paper's rule). The flag matters at boot time;
+        a server that sets it during its own, still-running transfer
+        passes ``ignore_recovering=True`` where it knows its in-RAM
+        state is coherent.
+        """
+        if self.commit.recovering and not ignore_recovering:
+            return 0
+        entry_max = max((s for _, s in self.entries.values()), default=0)
+        return max(entry_max, self.commit.seqno)

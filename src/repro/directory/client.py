@@ -1,0 +1,160 @@
+"""Client-side API of the directory service.
+
+A :class:`DirectoryClient` wraps an RPC client and the service's
+public port. Any of the four server implementations answers the same
+requests, so benchmarks and examples drive them all through this one
+class. All methods are simulation generators: call with
+``yield from`` inside a process.
+
+Server selection follows Amoeba's locate heuristic (first HEREIS
+responder, NOTHERE fail-over) — the behaviour whose load-balancing
+imperfection shapes the throughput curves of the paper's Fig. 8.
+"""
+
+from __future__ import annotations
+
+from repro.amoeba.capability import Capability, Port, Rights
+from repro.directory.model import DEFAULT_COLUMNS
+from repro.directory.operations import (
+    AppendRow,
+    ChmodRow,
+    CreateDir,
+    DeleteDir,
+    DeleteRow,
+    DirectoryOp,
+    ListDir,
+    LookupSet,
+    ReplaceSet,
+)
+from repro.rpc.client import RpcClient, RpcTimings
+from repro.rpc.transport import Transport
+
+
+class DirectoryClient:
+    """One client machine's handle on a directory service."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        port: Port,
+        timings: RpcTimings | None = None,
+    ):
+        self.transport = transport
+        self.port = port
+        self.rpc = RpcClient(transport, timings or RpcTimings())
+        self.operations_sent = 0
+
+    # -- raw request ------------------------------------------------------
+
+    def request(self, op: DirectoryOp, reply_timeout_ms: float | None = None):
+        """Send one operation and return the server's result."""
+        self.operations_sent += 1
+        result = yield from self.rpc.trans(
+            self.port, op, size=op.wire_size(), reply_timeout_ms=reply_timeout_ms
+        )
+        return result
+
+    # -- Fig. 2 operations ---------------------------------------------------
+
+    def create_dir(self, columns=DEFAULT_COLUMNS):
+        """Create a directory; returns its owner capability."""
+        cap = yield from self.request(CreateDir(columns=tuple(columns)))
+        return cap
+
+    def delete_dir(self, cap: Capability, force: bool = False):
+        """Delete a directory (must be empty unless *force*)."""
+        result = yield from self.request(DeleteDir(cap, force))
+        return result
+
+    def list_dir(self, cap: Capability):
+        """Rows visible through *cap*'s column mask."""
+        rows = yield from self.request(ListDir(cap))
+        return rows
+
+    def append_row(self, cap: Capability, name: str, capabilities):
+        """Add a (name, capabilities) row."""
+        result = yield from self.request(AppendRow(cap, name, tuple(capabilities)))
+        return result
+
+    def chmod_row(self, cap: Capability, name: str, column_mask: int, capabilities):
+        """Change the protection columns of a row."""
+        result = yield from self.request(
+            ChmodRow(cap, name, column_mask, tuple(capabilities))
+        )
+        return result
+
+    def delete_row(self, cap: Capability, name: str):
+        """Remove a row."""
+        result = yield from self.request(DeleteRow(cap, name))
+        return result
+
+    def lookup_set(self, items):
+        """Look up a set of (dir capability, name) pairs."""
+        results = yield from self.request(LookupSet(tuple(items)))
+        return results
+
+    def replace_set(self, items):
+        """Replace capabilities in a set of rows, indivisibly."""
+        result = yield from self.request(ReplaceSet(tuple(items)))
+        return result
+
+    # -- conveniences ----------------------------------------------------------
+
+    def lookup(self, cap: Capability, name: str):
+        """Single-name lookup; returns the capability or None."""
+        [result] = yield from self.lookup_set([(cap, name)])
+        return result
+
+    def exists(self, cap: Capability, name: str):
+        """Whether the named row exists (visible columns only)."""
+        rows = yield from self.list_dir(cap)
+        return any(row.name == name for row in rows)
+
+    # -- hierarchical names -------------------------------------------------
+
+    def resolve_path(self, start: Capability, path: str):
+        """Walk a '/'-separated path of directory rows.
+
+        Amoeba's directory graph is built by storing directory
+        capabilities inside directories; ``resolve_path(root,
+        "home/ast/thesis")`` performs one lookup per component and
+        returns the final capability (which may name a directory, a
+        file, or any other object), or None if any component is
+        missing.
+        """
+        current = start
+        for component in _components(path):
+            if current is None:
+                return None
+            current = yield from self.lookup(current, component)
+        return current
+
+    def make_path(self, start: Capability, path: str):
+        """Create any missing directories along *path*; returns the
+        capability of the final directory.
+
+        Each missing component costs one create_dir plus one
+        append_row (two indivisible operations — a concurrent racer
+        may win the append, in which case we adopt its directory).
+        """
+        from repro.errors import AlreadyExists
+
+        current = start
+        for component in _components(path):
+            found = yield from self.lookup(current, component)
+            if found is None:
+                created = yield from self.create_dir()
+                try:
+                    yield from self.append_row(current, component, (created,))
+                    found = created
+                except AlreadyExists:
+                    # Lost a race: someone else created it; use theirs
+                    # and discard ours.
+                    yield from self.delete_dir(created)
+                    found = yield from self.lookup(current, component)
+            current = found
+        return current
+
+
+def _components(path: str) -> list[str]:
+    return [part for part in path.split("/") if part]

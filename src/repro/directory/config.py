@@ -1,0 +1,73 @@
+"""Deployment-wide configuration of a directory service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.amoeba.capability import Port
+from repro.group.timings import GroupTimings
+
+
+@dataclass
+class RecoveryTimings:
+    """Timeouts of the Fig. 6 recovery protocol (simulated ms)."""
+
+    #: Poll interval while waiting for a majority to assemble.
+    poll_ms: float = 20.0
+    #: How long to wait for a majority before leaving and retrying.
+    majority_wait_ms: float = 400.0
+    #: Backoff bounds between recovery attempts.
+    backoff_min_ms: float = 40.0
+    backoff_max_ms: float = 120.0
+    #: RPC timeout for the mourned-set/seqno exchange.
+    exchange_timeout_ms: float = 200.0
+    #: RPC timeout for the state transfer (snapshots can be big).
+    transfer_timeout_ms: float = 30_000.0
+    #: Give up after this many recovery rounds (None = keep trying).
+    max_rounds: int | None = None
+
+
+@dataclass
+class ServiceConfig:
+    """Static facts every server of one directory service shares."""
+
+    #: Deployment name; determines the public port.
+    name: str
+    #: Machine addresses of the directory servers, by server index.
+    server_addresses: tuple
+    #: Root-directory owner check (shared so every replica mints the
+    #: same root capability without communication).
+    root_check: int = 0x00C0FFEE
+    #: Resilience degree for SendToGroup (the paper uses r = 2).
+    resilience: int = 2
+    #: Listening threads per server (bounds concurrent requests; when
+    #: all are busy the kernel answers NOTHERE and clients fail over).
+    #: One thread reproduces the paper's measured contention behaviour
+    #: (Fig. 8's below-ideal saturation); see bench E6b for the effect
+    #: of more threads.
+    server_threads: int = 1
+    group_timings: GroupTimings = field(default_factory=GroupTimings)
+    recovery: RecoveryTimings = field(default_factory=RecoveryTimings)
+    #: Use the paper's §3.2 improved recovery rule (a server that never
+    #: crashed may pair with a restarted stale server).
+    improved_recovery_rule: bool = True
+
+    @property
+    def port(self) -> Port:
+        """The public service port clients locate."""
+        return Port.for_service(f"dir.{self.name}")
+
+    @property
+    def n_servers(self) -> int:
+        return len(self.server_addresses)
+
+    @property
+    def majority(self) -> int:
+        return self.n_servers // 2 + 1
+
+    def recovery_port(self, index: int) -> Port:
+        """The private per-server port for recovery exchanges."""
+        return Port.for_service(f"dir.{self.name}.recovery.{index}")
+
+    def index_of(self, address) -> int:
+        return self.server_addresses.index(address)

@@ -1,0 +1,230 @@
+"""The group directory service with NVRAM in the critical path.
+
+The paper's fastest variant (section 4.1): instead of storing modified
+directories on disk during an update, the server appends a
+modification record to a 24 KB battery-backed NVRAM board. The board
+is a *reliable* medium, so fault tolerance is unchanged, while the
+update's critical path shrinks from two disk subsystems to one bus
+write — 6.8x faster on the append-delete test.
+
+A background flusher applies the log to disk when the server has been
+idle for a while or when the board fills up. The /tmp optimization
+falls out naturally: when a delete arrives while the matching append
+is still in the log, both records annihilate and *no* disk operation
+ever happens for that temporary name.
+
+After a crash the board's contents survive; recovery replays the log
+on top of the disk state (replay is idempotent: records whose effect
+already reached disk fail validation deterministically and are
+skipped).
+"""
+
+from __future__ import annotations
+
+from repro.directory.group_server import GroupDirectoryServer
+from repro.directory.operations import (
+    AppendRow,
+    ChmodRow,
+    CreateDir,
+    DeleteDir,
+    DeleteRow,
+)
+from repro.errors import CapabilityError, DirectoryError, NvramFull
+from repro.storage.nvram import Nvram, NvramRecord
+
+#: Flush when the server has seen no update for this long.
+IDLE_FLUSH_MS = 200.0
+#: How often the flusher wakes to check for idleness / pressure.
+FLUSH_POLL_MS = 50.0
+#: CPU cost of cancelling log records (scan + compaction of the
+#: board). Calibrated so the Fig. 9 NVRAM ceiling lands near the
+#: paper's 45 pairs/s.
+ANNIHILATION_CPU_MS = 4.0
+
+
+class NvramDirectoryServer(GroupDirectoryServer):
+    """Group directory server whose commit path is an NVRAM append."""
+
+    def __init__(self, config, index, transport, bullet_port, admin, nvram: Nvram):
+        super().__init__(config, index, transport, bullet_port, admin)
+        self.nvram = nvram
+        self._dirty: set[int] = set()  # objects with unflushed changes
+        self._deleted_dirty: set[int] = set()  # deleted, not yet on disk
+        self._last_update_at = 0.0
+        self._flush_requested = False
+
+    def start(self) -> None:
+        super().start()
+        self._processes.append(
+            self.sim.spawn(self._flusher(), f"dir.{self.index}.flusher")
+        )
+
+    # ------------------------------------------------------------------
+    # the NVRAM commit path
+    # ------------------------------------------------------------------
+
+    def _persist_effects(self, op, effects):
+        self._last_update_at = self.sim.now
+        if self._try_annihilate(op):
+            yield from self.transport.cpu.use(ANNIHILATION_CPU_MS)
+            return
+        record = NvramRecord(
+            key=self._record_key(op),
+            op=type(op).__name__,
+            payload=(op, self.state.update_seqno),
+            size=op.wire_size(),
+        )
+        while True:
+            try:
+                # The board write is programmed I/O: it occupies the
+                # server's CPU, so updates serialize through it (this
+                # is what puts the Fig. 9 ceiling near 45 pairs/s).
+                yield from self.transport.cpu.use(self.nvram.write_ms)
+                yield from self.nvram.append(record, charge_time=False)
+                break
+            except NvramFull:
+                # Synchronous pressure flush, then retry the append.
+                yield from self._flush()
+        self._dirty.update(effects.touched)
+        for obj in effects.deleted:
+            self._dirty.discard(obj)
+            self._deleted_dirty.add(obj)
+
+    def _record_key(self, op):
+        if isinstance(op, (AppendRow, ChmodRow, DeleteRow)):
+            return (op.cap.object_number, op.name)
+        if isinstance(op, DeleteDir):
+            return (op.cap.object_number, None)
+        if isinstance(op, CreateDir):
+            # The object number just allocated is next_object - 1.
+            return (self.state.next_object - 1, None)
+        return ("set-op", self.state.update_seqno)
+
+    def _try_annihilate(self, op) -> bool:
+        """The /tmp optimization. Returns True when the operation (and
+        its still-logged counterpart) cancel without touching disk."""
+        if isinstance(op, DeleteRow):
+            key = (op.cap.object_number, op.name)
+            pending = self.nvram.pending_for_key(key)
+            if pending and pending[0].op == "AppendRow":
+                # The row never reached the disk: the whole history of
+                # this name cancels out.
+                self.nvram.annihilate(lambda r: r.key == key)
+                return True
+        if isinstance(op, DeleteDir):
+            obj = op.cap.object_number
+            pending = self.nvram.pending_for_key((obj, None))
+            if pending and pending[0].op == "CreateDir":
+                # Directory created and deleted between flushes: drop
+                # every record touching it.
+                self.nvram.annihilate(
+                    lambda r: isinstance(r.key, tuple) and r.key[0] == obj
+                )
+                self._dirty.discard(obj)
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # flushing
+    # ------------------------------------------------------------------
+
+    def _flusher(self):
+        while self.alive:
+            yield self.sim.sleep(FLUSH_POLL_MS)
+            if not self.operational or len(self.nvram) == 0:
+                continue
+            idle = self.sim.now - self._last_update_at >= IDLE_FLUSH_MS
+            pressure = self.nvram.free_bytes < self.nvram.capacity_bytes // 4
+            if idle or pressure or self._flush_requested:
+                self._flush_requested = False
+                yield from self._flush()
+
+    def _flush(self):
+        """Apply the log to disk: write each dirty directory's current
+        contents (one Bullet file + object-table commit), then clear
+        the flushed records from the board.
+
+        Ordering matters: records leave the board only AFTER their
+        effects are safely on disk, so a crash mid-flush never loses an
+        acknowledged update (the board still holds the unflushed tail
+        and recovery replays it). Records logged after the flush began
+        are kept — their directories are in the fresh dirty set.
+        """
+        flush_floor = self.state.update_seqno
+        dirty, self._dirty = self._dirty, set()
+        deleted, self._deleted_dirty = self._deleted_dirty, set()
+        for obj in sorted(dirty):
+            if obj not in self.state.directories:
+                deleted.add(obj)
+                continue
+            data = self.state.directories[obj].to_bytes()
+            old_entry = self.admin.entries.get(obj)
+            new_cap = yield from self.bullet.create(data)
+            yield from self.admin.store_entry(
+                obj, new_cap, self.state.update_seqno, self.state.checks[obj]
+            )
+            if old_entry is not None:
+                self._remove_bullet_file_later(old_entry[0])
+        for obj in sorted(deleted):
+            if obj in self.admin.entries:
+                old_cap = self.admin.entries[obj][0]
+                yield from self.admin.remove_entry(
+                    obj, self.state.update_seqno, self.state.next_object
+                )
+                self._remove_bullet_file_later(old_cap)
+        # Everything up to flush_floor is now on disk: those records
+        # may leave the board. (Later records stay for the next flush.)
+        self.nvram.remove_flushed(lambda r: r.payload[1] <= flush_floor)
+
+    # ------------------------------------------------------------------
+    # recovery integration
+    # ------------------------------------------------------------------
+
+    def best_known_seqno(self) -> int:
+        """The NVRAM board survives crashes, so its logged updates
+        count toward this server's recovery sequence number."""
+        base = super().best_known_seqno()
+        logged = max(
+            (record.payload[1] for record in self.nvram.snapshot()), default=0
+        )
+        return max(base, logged)
+
+    def rebuild_state_from_disk(self):
+        """Disk state plus a replay of the surviving log.
+
+        Only records *newer* than the disk's claimed sequence number
+        are replayed: a record whose effect already reached the disk
+        (the crash hit between the flush's writes and its board
+        cleanup) must be skipped, or a CreateDir would mint a spurious
+        second directory.
+        """
+        yield from super().rebuild_state_from_disk()
+        disk_floor = self.state.update_seqno
+        replayed = 0
+        for record in self.nvram.snapshot():
+            op, seqno = record.payload
+            if seqno <= disk_floor:
+                continue  # already reflected in the disk state
+            try:
+                _, effects = self.state.apply(op)
+                self._dirty.update(effects.touched)
+                for obj in effects.deleted:
+                    self._dirty.discard(obj)
+                    self._deleted_dirty.add(obj)
+            except (DirectoryError, CapabilityError):
+                pass  # cancelled by a later record in the same log
+            self.state.update_seqno = max(self.state.update_seqno, seqno)
+            replayed += 1
+        return replayed
+
+    def _recover(self):
+        yield from super()._recover()
+        # Whatever path recovery took, the board and the disk must
+        # agree with the adopted state: flush everything once.
+        if len(self.nvram) > 0 or self._dirty or self._deleted_dirty:
+            self._dirty.update(
+                obj
+                for obj in self.state.directories
+                if obj in self.admin.entries or obj != 1
+            )
+            yield from self._flush()

@@ -1,0 +1,178 @@
+"""Wire-level directory operations (the paper's Fig. 2).
+
+Eight operations: three on whole directories, three on single rows,
+and two on *sets* of rows (which may span directories — one indivisible
+operation each, exactly the granularity the paper supports; multi-
+operation transactions are explicitly out of scope).
+
+Each operation dataclass knows whether it reads or writes, which the
+servers use to route it down the read path (local, no communication)
+or the write path (SendToGroup / intentions RPC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.amoeba.capability import Capability
+from repro.directory.model import DEFAULT_COLUMNS
+
+
+@dataclass(frozen=True)
+class DirectoryOp:
+    """Base class for all requests."""
+
+    @property
+    def is_read(self) -> bool:
+        raise NotImplementedError
+
+    def wire_size(self) -> int:
+        """Approximate request size in bytes (for network accounting)."""
+        return 96
+
+
+@dataclass(frozen=True)
+class CreateDir(DirectoryOp):
+    """Create a new directory; returns its owner capability.
+
+    *check* and *object hints* are filled in by the initiating server:
+    all replicas must use the same check field for the new directory,
+    so the initiator generates it and ships it with the broadcast
+    (section 3.1 of the paper).
+    """
+
+    columns: tuple = DEFAULT_COLUMNS
+    check: int | None = None  # injected by the initiating server
+    #: Used by the RPC implementation only: the two servers allocate
+    #: object numbers from disjoint parity classes, and the initiator
+    #: ships its choice so the lazy replica creates the same object.
+    #: The group implementation leaves this None (the total order
+    #: makes counter-based allocation deterministic).
+    object_number: int | None = None
+
+    @property
+    def is_read(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class DeleteDir(DirectoryOp):
+    """Delete an (empty) directory. Requires DESTROY rights."""
+
+    cap: Capability
+    force: bool = False  # allow deleting a non-empty directory
+
+    @property
+    def is_read(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class ListDir(DirectoryOp):
+    """List the rows visible through the capability's column mask."""
+
+    cap: Capability
+
+    @property
+    def is_read(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class AppendRow(DirectoryOp):
+    """Add a (name, capability-set) row. Requires MODIFY rights."""
+
+    cap: Capability
+    name: str
+    capabilities: tuple
+
+    @property
+    def is_read(self) -> bool:
+        return False
+
+    def wire_size(self) -> int:
+        return 96 + len(self.name) + 16 * len(self.capabilities)
+
+
+@dataclass(frozen=True)
+class ChmodRow(DirectoryOp):
+    """Change protection: replace the masked columns of a row."""
+
+    cap: Capability
+    name: str
+    column_mask: int
+    capabilities: tuple
+
+    @property
+    def is_read(self) -> bool:
+        return False
+
+    def wire_size(self) -> int:
+        return 96 + len(self.name) + 16 * len(self.capabilities)
+
+
+@dataclass(frozen=True)
+class DeleteRow(DirectoryOp):
+    """Remove a row. Requires MODIFY rights."""
+
+    cap: Capability
+    name: str
+
+    @property
+    def is_read(self) -> bool:
+        return False
+
+    def wire_size(self) -> int:
+        return 96 + len(self.name)
+
+
+@dataclass(frozen=True)
+class LookupSet(DirectoryOp):
+    """Look up capabilities for a set of (directory, name) pairs.
+
+    Returns a list aligned with *items*: the first visible capability
+    of each row, or None for names that do not exist.
+    """
+
+    items: tuple  # of (Capability, str)
+
+    @property
+    def is_read(self) -> bool:
+        return True
+
+    def wire_size(self) -> int:
+        return 64 + sum(24 + len(name) for _, name in self.items)
+
+
+@dataclass(frozen=True)
+class ReplaceSet(DirectoryOp):
+    """Replace capabilities in a set of rows, indivisibly.
+
+    *items* are (directory capability, row name, new capabilities)
+    triples; either every replacement happens or none does.
+    """
+
+    items: tuple  # of (Capability, str, tuple[Capability | None, ...])
+
+    @property
+    def is_read(self) -> bool:
+        return False
+
+    def wire_size(self) -> int:
+        return 64 + sum(
+            24 + len(name) + 16 * len(caps) for _, name, caps in self.items
+        )
+
+
+#: Operation name -> class, for logs and workload configuration.
+OPERATIONS = {
+    "create_dir": CreateDir,
+    "delete_dir": DeleteDir,
+    "list_dir": ListDir,
+    "append_row": AppendRow,
+    "chmod_row": ChmodRow,
+    "delete_row": DeleteRow,
+    "lookup_set": LookupSet,
+    "replace_set": ReplaceSet,
+}

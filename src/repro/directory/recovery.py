@@ -1,0 +1,246 @@
+"""The recovery protocol of the group directory service (Fig. 6).
+
+A server runs recovery when it boots (fresh or after a crash) and when
+its group loses the majority. The protocol, following the paper:
+
+1. **(Re)join** the server group, or create it if no sequencer
+   answers.
+2. **Wait** until the group holds a majority of the configured
+   servers; on timeout, leave and start over (two minority groups may
+   have formed on both sides of a partition — neither may proceed).
+3. **Skeen's algorithm**: exchange mourned sets and sequence numbers
+   with every group member over RPC. The *last set* (all servers
+   minus the union of mourned sets) is the set of servers that may
+   have performed the latest update; unless it is a subset of the new
+   group, recovery must wait for its members — except under the §3.2
+   *improved rule*: a server that never went down and holds the
+   highest sequence number cannot have missed an update, so it may
+   proceed (no majority existed while it was failed, hence no updates
+   happened).
+4. **State transfer** from the member with the highest sequence
+   number; the *recovering* flag is set in the commit block for the
+   duration, so a crash mid-transfer is detected at next boot (such a
+   server reports sequence number zero — its state is a mixture).
+5. Write the final commit block (new configuration vector, recovering
+   cleared) and enter normal operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.directory.state import DirectoryState
+from repro.errors import (
+    GroupFailure,
+    GroupResetFailed,
+    LocateError,
+    RpcError,
+)
+from repro.group.kernel import STATE_IDLE, STATE_MEMBER
+
+
+@dataclass
+class RecoveryOutcome:
+    """What one successful recovery did (metrics for bench E7)."""
+
+    rounds: int
+    donor: object
+    transferred_dirs: int
+    applied_kernel: int
+    duration_ms: float
+    used_improved_rule: bool
+
+
+def run_recovery(server):
+    """Run Fig. 6 to completion for *server* (``yield from``).
+
+    Returns a :class:`RecoveryOutcome`; loops until recovery succeeds
+    (or raises GroupResetFailed after ``recovery.max_rounds``).
+    """
+    sim = server.sim
+    cfg = server.config
+    timings = cfg.recovery
+    rng = sim.rng.stream(f"dir.recovery.{server.me}")
+    started = sim.now
+
+    if not getattr(server, "_admin_loaded", False):
+        yield from server.admin.load()
+        server._admin_loaded = True
+        # The crashed-during-recovery rule applies to the disk as
+        # found at boot; capture it once (the flag may be set again
+        # by our own transfer below without zeroing our claim).
+        server.boot_seqno = server.admin.highest_seqno()
+
+    rounds = 0
+    used_improved_rule = False
+    while timings.max_rounds is None or rounds < timings.max_rounds:
+        rounds += 1
+
+        # -- Phase 1: rejoin the server group, or create it ------------
+        member = server.member
+        if member.kernel.state != STATE_MEMBER:
+            member.kernel.state = STATE_IDLE
+            try:
+                yield from member.join()
+            except GroupFailure:
+                member.create(cfg.resilience)
+
+        # -- Phase 2: wait for a majority -------------------------------
+        deadline = sim.now + timings.majority_wait_ms
+        while sim.now < deadline and server.members_present() < cfg.majority:
+            yield sim.sleep(timings.poll_ms)
+            if member.info().state == "failed":
+                try:
+                    yield from member.reset()
+                except GroupResetFailed:
+                    break
+        override = getattr(server, "_admin_override", False)
+        if (
+            server.members_present() < cfg.majority and not override
+        ) or not member.is_member:
+            yield from _leave_quietly(server)
+            yield sim.sleep(
+                rng.uniform(timings.backoff_min_ms, timings.backoff_max_ms)
+            )
+            continue
+
+        # -- Phase 3: Skeen's algorithm ---------------------------------
+        my_seqno = server.best_known_seqno()
+        mourned = set(server.mourned_set())
+        newgroup = {server.me}
+        seqnos = {server.me: my_seqno}
+        peers = [
+            a
+            for a in member.info().view
+            if a != server.me and a in cfg.server_addresses
+        ]
+        for peer in peers:
+            try:
+                reply = yield from server.rpc_client.trans(
+                    cfg.recovery_port(cfg.index_of(peer)),
+                    {"op": "exchange"},
+                    reply_timeout_ms=timings.exchange_timeout_ms,
+                )
+            except (RpcError, LocateError):
+                continue
+            newgroup.add(peer)
+            seqnos[peer] = reply["seqno"]
+            mourned |= set(reply["mourned"])
+        last_set = set(cfg.server_addresses) - mourned
+        proceed = last_set <= newgroup
+        if override:
+            # §3.1's administrator escape: the operator asserts that
+            # the missing servers' data is gone for good.
+            proceed = True
+        if not proceed and cfg.improved_recovery_rule and server.stayed_up:
+            # §3.2: we stayed up the whole time; while the group lacked
+            # a majority nobody performed updates, so if our sequence
+            # number is the highest we cannot be missing anything.
+            if seqnos[server.me] >= max(seqnos.values()):
+                proceed = True
+                used_improved_rule = True
+        if not proceed:
+            # Wait for members of the last set to come back, then retry.
+            yield sim.sleep(
+                rng.uniform(timings.backoff_min_ms, timings.backoff_max_ms)
+            )
+            continue
+
+        # -- Phase 4: state transfer from the freshest member -----------
+        donor = max(seqnos, key=lambda a: (seqnos[a], str(a)))
+        transferred = 0
+        applied_kernel = member.info().taken
+        if donor == server.me:
+            if not server._state_loaded:
+                yield from server.rebuild_state_from_disk()
+        else:
+            try:
+                reply = yield from server.rpc_client.trans(
+                    cfg.recovery_port(cfg.index_of(donor)),
+                    {"op": "get_state", "min_kernel": member.info().committed},
+                    reply_timeout_ms=timings.transfer_timeout_ms,
+                )
+            except (RpcError, LocateError):
+                yield sim.sleep(
+                    rng.uniform(timings.backoff_min_ms, timings.backoff_max_ms)
+                )
+                continue
+            # Installing mixes old and new directories on our disk:
+            # mark the commit block so a crash here is detected at the
+            # next boot (the paper's recovering flag).
+            server._installing = True
+            try:
+                yield from server.admin.write_commit_block(recovering=True)
+                transferred = yield from _install_snapshot(server, reply)
+            finally:
+                server._installing = False
+            applied_kernel = max(applied_kernel, reply["applied_kernel"])
+            member.kernel.taken = max(member.kernel.taken, applied_kernel)
+
+        # -- Seal: final commit block, back to normal operation ---------
+        yield from server.admin.write_commit_block(
+            config_vector=server.config_vector(),
+            recovering=False,
+            seqno=max(server.admin.commit.seqno, server.state.update_seqno),
+            next_object=server.state.next_object,
+        )
+        return RecoveryOutcome(
+            rounds=rounds,
+            donor=donor,
+            transferred_dirs=transferred,
+            applied_kernel=applied_kernel,
+            duration_ms=sim.now - started,
+            used_improved_rule=used_improved_rule,
+        )
+    raise GroupResetFailed(
+        f"server {server.index} gave up recovery after {rounds} rounds"
+    )
+
+
+def _leave_quietly(server):
+    """Abandon the current (minority) group and go idle."""
+    kernel = server.member.kernel
+    if kernel.state == STATE_MEMBER:
+        kernel.announce_leave()
+        yield server.sim.sleep(10.0)
+    kernel.state = STATE_IDLE
+
+
+def _install_snapshot(server, reply):
+    """Adopt a donor's snapshot; bring our disk up to date.
+
+    Only directories whose entry sequence number differs from the
+    donor's are rewritten (a mostly-current server transfers little).
+    Returns the number of directories written.
+    """
+    cfg = server.config
+    snapshot = reply["snapshot"]
+    entry_seqnos = reply["entry_seqnos"]
+    new_state = DirectoryState.from_snapshot(cfg.port, snapshot)
+    transferred = 0
+    for obj in sorted(new_state.directories):
+        donor_seq = entry_seqnos.get(obj)
+        if donor_seq is None:
+            continue  # e.g. the never-modified bootstrap root
+        mine = server.admin.entries.get(obj)
+        if mine is not None and mine[1] == donor_seq:
+            continue  # our copy is already current
+        data = new_state.directories[obj].to_bytes()
+        old_cap = mine[0] if mine is not None else None
+        new_cap = yield from server.bullet.create(data)
+        yield from server.admin.store_entry(
+            obj, new_cap, donor_seq, new_state.checks[obj]
+        )
+        if old_cap is not None:
+            server._remove_bullet_file_later(old_cap)
+        transferred += 1
+    for obj in list(server.admin.entries):
+        if obj not in new_state.directories:
+            old_cap = server.admin.entries[obj][0]
+            yield from server.admin.remove_entry(
+                obj, new_state.update_seqno, new_state.next_object
+            )
+            server._remove_bullet_file_later(old_cap)
+    server.state = new_state
+    server._state_loaded = True
+    return transferred

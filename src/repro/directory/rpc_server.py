@@ -1,0 +1,424 @@
+"""The RPC-based directory service (the paper's previous design).
+
+Two servers, each on its own machine with its own Bullet server and
+disk. Semantics per sections 1 and 5 of the paper:
+
+* **reads** are served by either server without communication;
+* an **update** arriving at one server triggers an RPC to the other
+  server with the intended update; if the peer is *not busy with a
+  conflicting operation* it stores the intentions (write-behind — the
+  acknowledgement is not delayed by the disk) and answers OK; the
+  initiator then performs the update — new Bullet file, object-table
+  commit, plus the extra intentions-bookkeeping disk write the paper's
+  analysis charges the RPC design for — and replies to the client;
+* replication is **lazy**: the peer applies the update in the
+  background after acknowledging, so for a window only one disk holds
+  the new directory (the availability weakness the paper points out);
+* **no partition tolerance**: when the peer stops answering, the
+  initiator soldiers on alone — exactly the behaviour that makes the
+  RPC design unsafe under network partitions (both halves would
+  diverge).
+
+Concurrency control: the intent/OK handshake doubles as a service-wide
+write lock — a peer refuses intents while it is initiating an update
+itself or still has unapplied intentions queued, and the initiator
+retries. A deterministic index priority (lower index wins) breaks the
+symmetric-deadlock case where both servers initiate at once.
+
+Object numbers are allocated from disjoint parity classes (server 0
+even, server 1 odd) and shipped inside the CreateDir operation, so the
+lazy replica mints the identical capability.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+
+from repro.amoeba.capability import new_check
+from repro.directory.admin import AdminPartition
+from repro.directory.config import ServiceConfig
+from repro.directory.operations import CreateDir, DirectoryOp
+from repro.directory.state import DirectoryState
+from repro.errors import (
+    CapabilityError,
+    DirectoryError,
+    Interrupted,
+    LocateError,
+    RpcError,
+    ServiceDown,
+)
+from repro.rpc.client import RpcClient, RpcTimings
+from repro.rpc.server import RpcServer
+from repro.rpc.transport import Transport
+from repro.sim.primitives import Mutex
+from repro.storage.bullet import BulletClient
+
+
+class PeerBusy(ServiceDown):
+    """The peer refused an intent because a conflicting op is active."""
+
+
+class RpcDirectoryServer:
+    """One of the two replicas of the RPC directory service."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        index: int,
+        transport: Transport,
+        bullet_port,
+        admin: AdminPartition,
+    ):
+        self.config = config
+        self.index = index
+        self.transport = transport
+        self.sim = transport.sim
+        self.me = transport.address
+        self.admin = admin
+
+        self.state = DirectoryState(config.port, config.root_check)
+        # Disjoint object-number classes: server 0 allocates even,
+        # server 1 odd (root is object 1, so start above it).
+        self._next_alloc = 2 + index
+        self.rpc_server = RpcServer(transport, config.port, f"rpcdir.{index}")
+        self.private_rpc = RpcServer(transport, config.recovery_port(index))
+        self.peer_port = config.recovery_port(1 - index)
+        self.rpc_client = RpcClient(transport, RpcTimings(reply_timeout_ms=500.0))
+        self.bullet = BulletClient(self.rpc_client, bullet_port)
+
+        self.operational = False
+        self.alive = True
+        self.peer_reachable = True
+        self._update_mutex = Mutex(f"rpcdir.{index}.update")
+        self._lazy_queue: deque = deque()
+        self._processes = []
+
+        self.reads_served = 0
+        self.writes_served = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        spawn = self.sim.spawn
+        self._processes = [
+            spawn(self._boot(), f"rpcdir.{self.index}.boot"),
+            spawn(self._peer_service(), f"rpcdir.{self.index}.peer-svc"),
+            spawn(self._lazy_applier(), f"rpcdir.{self.index}.lazy"),
+            spawn(self._peer_probe(), f"rpcdir.{self.index}.probe"),
+        ]
+        for t in range(self.config.server_threads):
+            self._processes.append(
+                spawn(self._server_thread(), f"rpcdir.{self.index}.srv{t}")
+            )
+
+    def _boot(self):
+        """Load disk state; prefer a fresher copy from the peer."""
+        yield from self.admin.load()
+        try:
+            reply = yield from self.rpc_client.trans(
+                self.peer_port, {"op": "get_state"}, reply_timeout_ms=2000.0
+            )
+            peer_state = DirectoryState.from_snapshot(
+                self.config.port, reply["snapshot"]
+            )
+            if peer_state.update_seqno >= self.admin.highest_seqno():
+                yield from self._install_state(peer_state, reply["entry_seqnos"])
+            else:
+                yield from self._rebuild_from_disk()
+        except (RpcError, LocateError):
+            self.peer_reachable = False
+            yield from self._rebuild_from_disk()
+        self._next_alloc = max(
+            self._next_alloc,
+            _next_in_class(self.state.next_object, self.index),
+        )
+        self.operational = True
+
+    def _install_state(self, new_state: DirectoryState, entry_seqnos: dict):
+        for obj in sorted(new_state.directories):
+            donor_seq = entry_seqnos.get(obj)
+            if donor_seq is None:
+                continue
+            mine = self.admin.entries.get(obj)
+            if mine is not None and mine[1] == donor_seq:
+                continue
+            data = new_state.directories[obj].to_bytes()
+            cap = yield from self.bullet.create(data)
+            yield from self.admin.store_entry(
+                obj, cap, donor_seq, new_state.checks[obj]
+            )
+        for obj in list(self.admin.entries):
+            if obj not in new_state.directories:
+                yield from self.admin.remove_entry(
+                    obj, new_state.update_seqno, new_state.next_object
+                )
+        self.state = new_state
+
+    def _rebuild_from_disk(self):
+        from repro.directory.model import Directory
+
+        state = DirectoryState(self.config.port, self.config.root_check)
+        next_object = state.next_object
+        for obj, (cap, _seqno) in sorted(self.admin.entries.items()):
+            data = yield from self.bullet.read(cap)
+            state.directories[obj] = Directory.from_bytes(data)
+            state.checks[obj] = self.admin.entry_checks.get(obj, 0)
+            next_object = max(next_object, obj + 1)
+        state.next_object = max(next_object, self.admin.commit.next_object)
+        state.update_seqno = self.admin.highest_seqno()
+        self.state = state
+
+    def crash(self) -> None:
+        self.alive = False
+        self.operational = False
+        for process in self._processes:
+            process.kill(f"rpcdir.{self.index} crash")
+        self._processes = []
+
+    # ------------------------------------------------------------------
+    # client-facing threads
+    # ------------------------------------------------------------------
+
+    def _server_thread(self):
+        while self.alive:
+            try:
+                op, handle = yield self.rpc_server.getreq()
+            except Interrupted:
+                return
+            if not self.operational:
+                handle.error(ServiceDown(f"rpcdir.{self.index} still booting"))
+                continue
+            try:
+                yield from self._handle_request(op, handle)
+            except Interrupted:
+                raise
+            except Exception as exc:
+                handle.error(ServiceDown(f"internal error: {exc!r}"))
+
+    def _handle_request(self, op: DirectoryOp, handle):
+        if op.is_read:
+            yield from self.transport.cpu.use(
+                self._latency().cpu.read_processing_ms
+            )
+            try:
+                result = self.state.query(op)
+            except (DirectoryError, CapabilityError) as exc:
+                handle.error(exc)
+                return
+            self.reads_served += 1
+            handle.reply(result, size=96)
+            return
+        op = self._prepare_write(op)
+        yield self._update_mutex.acquire()
+        try:
+            accepted = yield from self._notify_peer_with_retry(op)
+            if not accepted:
+                handle.error(ServiceDown("peer persistently busy"))
+                return
+            yield from self.transport.cpu.use(
+                self._latency().cpu.write_processing_ms
+            )
+            try:
+                result, effects = self.state.apply(op)
+            except (DirectoryError, CapabilityError) as exc:
+                self.state.update_seqno += 1
+                handle.error(exc)
+                return
+            # The RPC design's extra bookkeeping write: record that our
+            # intentions are now committed locally (write-behind, so it
+            # costs little latency — but it is one more disk op, which
+            # bench E4 counts).
+            yield from self.admin.partition.write_block(1, b"intent", kind="cached")
+            yield from self._persist_effects(effects)
+            self.writes_served += 1
+            handle.reply(result, size=96)
+        finally:
+            self._update_mutex.release()
+
+    def _prepare_write(self, op: DirectoryOp) -> DirectoryOp:
+        if isinstance(op, CreateDir) and op.check is None:
+            rng = self.sim.rng.stream(f"rpcdir.{self.config.name}.check.{self.index}")
+            obj = self._next_alloc
+            self._next_alloc += 2
+            return dataclasses.replace(op, check=new_check(rng), object_number=obj)
+        return op
+
+    # ------------------------------------------------------------------
+    # intentions protocol
+    # ------------------------------------------------------------------
+
+    def _notify_peer_with_retry(self, op: DirectoryOp, attempts: int = 400):
+        """The intent/OK handshake; returns False on persistent busy.
+
+        On a busy peer, the higher-index server releases its own write
+        lock while backing off so the lower-index server's symmetric
+        intent can get through (deadlock break).
+        """
+        if not self.peer_reachable:
+            return True  # running solo, no partition tolerance
+        rng = self.sim.rng.stream(f"rpcdir.retry.{self.index}")
+        for _ in range(attempts):
+            try:
+                yield from self.rpc_client.trans(
+                    self.peer_port,
+                    {"op": "intent", "update": op},
+                    size=op.wire_size() + 32,
+                    reply_timeout_ms=500.0,
+                )
+                return True
+            except PeerBusy:
+                if self.index > 0:
+                    self._update_mutex.release()
+                yield self.sim.sleep(rng.uniform(2.0, 8.0))
+                if self.index > 0:
+                    yield self._update_mutex.acquire()
+            except (RpcError, LocateError):
+                # Peer dead or partitioned: continue alone (the RPC
+                # design explicitly does not tolerate partitions).
+                self.peer_reachable = False
+                return True
+        return False
+
+    def _peer_service(self):
+        while self.alive:
+            try:
+                request, handle = yield self.private_rpc.getreq()
+            except Interrupted:
+                return
+            kind = request["op"]
+            if kind == "ping":
+                handle.reply({"seqno": self.state.update_seqno}, size=32)
+                if request["seqno"] > self.state.update_seqno:
+                    self.sim.spawn(
+                        self._refresh_from_peer(),
+                        f"rpcdir.{self.index}.resync",
+                    )
+                self.peer_reachable = True
+                continue
+            if kind == "get_state":
+                handle.reply(
+                    {
+                        "snapshot": self.state.to_snapshot(),
+                        "entry_seqnos": {
+                            obj: seqno
+                            for obj, (_, seqno) in self.admin.entries.items()
+                        },
+                    },
+                    size=self.state.snapshot_size(),
+                )
+                continue
+            if kind != "intent":
+                handle.error(DirectoryError(f"unknown peer op {kind!r}"))
+                continue
+            if self._update_mutex.held or self._lazy_queue:
+                handle.error(PeerBusy("conflicting operation in progress"))
+                continue
+            # Store intentions with write-behind and acknowledge.
+            self._lazy_queue.append(request["update"])
+            self.peer_reachable = True
+            handle.reply("OK", size=32)
+
+    def _peer_probe(self):
+        """Retry an unreachable peer every few seconds.
+
+        On contact, compare sequence numbers: whichever side is behind
+        pulls a fresh snapshot, so the replicas reconverge after the
+        solo-operation window (the RPC design's answer to a repaired
+        peer; a repaired *partition* still leaves both sides believing
+        they are current — the flaw the group design fixes).
+        """
+        while self.alive:
+            yield self.sim.sleep(2_000.0)
+            if self.peer_reachable or not self.operational:
+                continue
+            try:
+                reply = yield from self.rpc_client.trans(
+                    self.peer_port,
+                    {"op": "ping", "seqno": self.state.update_seqno},
+                    reply_timeout_ms=500.0,
+                )
+            except (RpcError, LocateError, ServiceDown):
+                continue
+            if reply["seqno"] > self.state.update_seqno:
+                yield from self._refresh_from_peer()
+            self.peer_reachable = True
+
+    def _refresh_from_peer(self):
+        try:
+            reply = yield from self.rpc_client.trans(
+                self.peer_port, {"op": "get_state"}, reply_timeout_ms=5_000.0
+            )
+        except (RpcError, LocateError, ServiceDown):
+            return
+        peer_state = DirectoryState.from_snapshot(
+            self.config.port, reply["snapshot"]
+        )
+        if peer_state.update_seqno >= self.state.update_seqno:
+            yield from self._install_state(peer_state, reply["entry_seqnos"])
+
+    def _lazy_applier(self):
+        """Applies acknowledged intentions in the background (lazy
+        replication: 'the second copy is created later')."""
+        while self.alive:
+            if not self._lazy_queue:
+                yield self.sim.sleep(1.0)
+                continue
+            op = self._lazy_queue[0]
+            yield from self.admin.partition.write_block(1, b"intent", kind="cached")
+            yield from self.transport.cpu.use(
+                self._latency().cpu.write_processing_ms
+            )
+            try:
+                _, effects = self.state.apply(op)
+            except (DirectoryError, CapabilityError):
+                self.state.update_seqno += 1
+                effects = None
+            if effects is not None:
+                yield from self._persist_effects(effects)
+            self._lazy_queue.popleft()
+
+    # ------------------------------------------------------------------
+    # storage
+    # ------------------------------------------------------------------
+
+    def _persist_effects(self, effects):
+        for obj in effects.touched:
+            data = self.state.directories[obj].to_bytes()
+            old_entry = self.admin.entries.get(obj)
+            new_cap = yield from self.bullet.create(data)
+            yield from self.admin.store_entry(
+                obj, new_cap, self.state.update_seqno, self.state.checks[obj]
+            )
+            if old_entry is not None:
+                self._cleanup_later(old_entry[0])
+        for obj in effects.deleted:
+            old_entry = self.admin.entries.get(obj)
+            yield from self.admin.remove_entry(
+                obj, self.state.update_seqno, self.state.next_object
+            )
+            if old_entry is not None:
+                self._cleanup_later(old_entry[0])
+
+    def _cleanup_later(self, cap) -> None:
+        def cleanup():
+            try:
+                yield from self.bullet.delete(cap)
+            except Exception:
+                pass
+
+        if self.alive:
+            self.sim.spawn(cleanup(), f"rpcdir.{self.index}.gc")
+
+    def _latency(self):
+        return self.transport.nic.network.latency
+
+
+def _next_in_class(minimum: int, index: int) -> int:
+    """Smallest value >= minimum in server *index*'s parity class."""
+    value = max(minimum, 2)
+    while value % 2 != index:
+        value += 1
+    return value

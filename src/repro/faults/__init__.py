@@ -1,0 +1,30 @@
+"""Composable fault injection for whole-cluster scenarios.
+
+A :class:`~repro.faults.plan.FaultPlan` is a timed script of crash,
+restart, partition, heal, and disk-failure events applied to a cluster
+— the tool behind the chaos tests and the recovery benchmarks.
+:class:`~repro.faults.plan.RandomFaultPlan` generates seeded random
+schedules for property-style soak testing.
+"""
+
+from repro.faults.plan import (
+    Crash,
+    DiskFailure_,
+    FaultEvent,
+    FaultPlan,
+    Heal,
+    Partition,
+    RandomFaultPlan,
+    Restart,
+)
+
+__all__ = [
+    "Crash",
+    "DiskFailure_",
+    "FaultEvent",
+    "FaultPlan",
+    "Heal",
+    "Partition",
+    "RandomFaultPlan",
+    "Restart",
+]

@@ -1,0 +1,197 @@
+"""Timed fault schedules.
+
+Events are dataclasses naming a simulated time and a target; a
+:class:`FaultPlan` arms them all against a cluster (any of the cluster
+classes in :mod:`repro.cluster` that expose ``crash_server`` /
+``restart_server`` / ``partition_network`` / ``heal_network``).
+
+The plan records what it did and when, so tests can correlate observed
+client anomalies with injected faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class: one scheduled fault."""
+
+    at_ms: float
+
+    def apply(self, cluster) -> str:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Crash(FaultEvent):
+    """Fail-stop crash of one directory server."""
+
+    server: int = 0
+
+    def apply(self, cluster) -> str:
+        cluster.crash_server(self.server)
+        return f"crash server {self.server}"
+
+
+@dataclass(frozen=True)
+class Restart(FaultEvent):
+    """Reboot a crashed directory server (it re-runs recovery)."""
+
+    server: int = 0
+
+    def apply(self, cluster) -> str:
+        cluster.restart_server(self.server)
+        return f"restart server {self.server}"
+
+
+@dataclass(frozen=True)
+class Partition(FaultEvent):
+    """Split the network into server-index groups (clients ride with
+    the first group)."""
+
+    groups: tuple = ((0, 1), (2,))
+
+    def apply(self, cluster) -> str:
+        cluster.partition_network(*[list(g) for g in self.groups])
+        return f"partition {self.groups}"
+
+
+@dataclass(frozen=True)
+class Heal(FaultEvent):
+    """Repair all partitions."""
+
+    def apply(self, cluster) -> str:
+        cluster.heal_network()
+        return "heal network"
+
+
+@dataclass(frozen=True)
+class DiskFailure_(FaultEvent):
+    """Head crash of one site's disk (data irrecoverably lost)."""
+
+    site: int = 0
+
+    def apply(self, cluster) -> str:
+        cluster.sites[self.site].disk.fail()
+        return f"disk failure at site {self.site}"
+
+
+@dataclass
+class FaultPlan:
+    """A schedule of fault events plus an execution log."""
+
+    events: list = field(default_factory=list)
+    log: list = field(default_factory=list)  # (time, description)
+
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        self.events.append(event)
+        return self
+
+    def crash(self, at_ms: float, server: int) -> "FaultPlan":
+        return self.add(Crash(at_ms, server))
+
+    def restart(self, at_ms: float, server: int) -> "FaultPlan":
+        return self.add(Restart(at_ms, server))
+
+    def partition(self, at_ms: float, *groups) -> "FaultPlan":
+        return self.add(Partition(at_ms, tuple(tuple(g) for g in groups)))
+
+    def heal(self, at_ms: float) -> "FaultPlan":
+        return self.add(Heal(at_ms))
+
+    def arm(self, cluster) -> None:
+        """Schedule every event on the cluster's simulator clock.
+
+        Times are absolute simulated ms; events already in the past
+        are rejected (arm the plan before running the window).
+        """
+        sim = cluster.sim
+        for event in sorted(self.events, key=lambda e: e.at_ms):
+            delay = event.at_ms - sim.now
+            if delay < 0:
+                raise SimulationError(
+                    f"fault at t={event.at_ms} is in the past (now={sim.now})"
+                )
+            sim.schedule(delay, lambda e=event: self._fire(cluster, e))
+
+    def _fire(self, cluster, event: FaultEvent) -> None:
+        description = event.apply(cluster)
+        self.log.append((cluster.sim.now, description))
+        cluster.sim.log(f"fault: {description}")
+
+    @property
+    def fired(self) -> int:
+        return len(self.log)
+
+
+class RandomFaultPlan(FaultPlan):
+    """A seeded random crash/restart/partition schedule.
+
+    Invariants by construction:
+
+    * at most ``max_down`` servers are down simultaneously (keeps the
+      scenario recoverable — with 3 servers and ``max_down=1`` a
+      majority always exists);
+    * every crash is followed by a restart after a random dwell;
+    * partitions always heal.
+    """
+
+    def __init__(
+        self,
+        rng,
+        n_servers: int,
+        window_ms: tuple[float, float],
+        events: int = 6,
+        max_down: int = 1,
+        min_gap_ms: float = 2_500.0,
+    ):
+        super().__init__()
+        start, end = window_ms
+        down: set[int] = set()
+        partitioned = False
+        t = start
+        for _ in range(events):
+            t += rng.uniform(min_gap_ms, min_gap_ms * 2.5)
+            if t >= end:
+                break
+            choices = []
+            if len(down) < max_down and not partitioned:
+                choices.append("crash")
+            if down:
+                choices.append("restart")
+            if not partitioned and not down and n_servers >= 3:
+                choices.append("partition")
+            if partitioned:
+                choices.append("heal")
+            if not choices:
+                continue
+            kind = rng.choice(choices)
+            if kind == "crash":
+                target = rng.choice([i for i in range(n_servers) if i not in down])
+                self.crash(t, target)
+                down.add(target)
+            elif kind == "restart":
+                target = rng.choice(sorted(down))
+                self.restart(t, target)
+                down.discard(target)
+            elif kind == "partition":
+                isolated = rng.randrange(n_servers)
+                rest = [i for i in range(n_servers) if i != isolated]
+                self.partition(t, rest, [isolated])
+                partitioned = True
+            elif kind == "heal":
+                self.heal(t)
+                partitioned = False
+        # Leave the world repaired at the end of the window.
+        tail = max(t, end) + min_gap_ms
+        if partitioned:
+            self.heal(tail)
+            tail += min_gap_ms
+        for target in sorted(down):
+            self.restart(tail, target)
+            tail += min_gap_ms

@@ -1,0 +1,870 @@
+"""The per-machine group-communication protocol engine.
+
+One :class:`GroupKernel` instance manages one group membership on one
+machine, mirroring the group state Amoeba keeps in the kernel. It
+implements:
+
+* **sequencing** — the current sequencer assigns consecutive sequence
+  numbers and multicasts each message (PB method);
+* **r-resilience** — members send cumulative acknowledgements; the
+  sequencer commits a message once ``r`` other members hold it, so any
+  ``r`` crashes cannot lose a delivered message;
+* **gap repair** — members detect missing sequence numbers and ask the
+  sequencer to retransmit;
+* **failure detection** — sequencer heartbeats (carrying the commit
+  horizon) and member echoes; silence on either side marks the group
+  *failed* and wakes every blocked primitive with
+  :class:`~repro.errors.GroupFailure`;
+* **view changes** — join, leave, and the two-phase coordinator-
+  arbitrated reset that rebuilds a group from survivors after a crash
+  (the ``ResetGroup`` of the paper).
+
+The kernel is deliberately passive: all its logic runs inside packet
+handlers and timer callbacks. The blocking primitives live in
+:class:`repro.group.member.GroupMember`, which wraps this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import GroupFailure
+from repro.rpc.transport import Transport
+from repro.sim.future import Future
+from repro.sim.primitives import Condition
+from repro.group.timings import GroupTimings
+
+CONTROL_SIZE = 64
+HEADER_SIZE = 64
+
+#: Committed history kept around beyond what liveness strictly needs,
+#: as slack for stragglers, retransmissions, and reset vote tails.
+HISTORY_MARGIN = 64
+
+STATE_IDLE = "idle"
+STATE_MEMBER = "member"
+STATE_FAILED = "failed"
+
+
+@dataclass
+class BcRecord:
+    """One sequenced message as stored in the history buffer."""
+
+    seqno: int
+    msg_id: tuple
+    sender: Any
+    payload: Any
+    size: int
+
+
+@dataclass
+class PendingSend:
+    """Sender-side bookkeeping for one SendToGroup in flight."""
+
+    msg_id: tuple
+    payload: Any
+    size: int
+    future: Future
+    retries_left: int
+
+
+class GroupKernel:
+    """Protocol state machine for one group on one machine."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        group: str,
+        timings: GroupTimings | None = None,
+    ):
+        self.transport = transport
+        self.sim = transport.sim
+        self.group = group
+        self.timings = timings or GroupTimings()
+        self.me = transport.address
+
+        # Membership.
+        self.state = STATE_IDLE
+        self.instance: tuple | None = None
+        self.incarnation = -1
+        self.view: list = []
+        self.sequencer = None
+        self.resilience = 0
+        self.failure_reason = ""
+
+        # Message stream.
+        self.history: dict[int, BcRecord] = {}
+        self.received = -1  # highest contiguous seqno held
+        self.committed = -1  # highest seqno safe to deliver
+        self.taken = -1  # highest seqno the application consumed
+        self.next_assign = 0  # sequencer only
+        self.sequenced_ids: dict[tuple, int] = {}  # msg_id -> seqno (dedup)
+        self.pending_sends: dict[tuple, PendingSend] = {}
+        self._next_msg_number = 0
+        self._next_instance = 0
+
+        # Failure detection.
+        self.last_heartbeat = 0.0
+        self.ack_progress: dict[Any, int] = {}  # sequencer: member -> acked
+        self.last_echo: dict[Any, float] = {}  # sequencer: member -> time
+        self._retrans_requested_at: float | None = None
+
+        # Reset protocol.
+        self._promise: tuple = (-1, "")
+        self.reset_votes: dict[Any, tuple[int, list[BcRecord]]] | None = None
+        self._reset_key: tuple | None = None
+
+        # Wakeup for blocked receive/info waiters; join waiters.
+        self.wakeup = Condition(f"grp({group}@{self.me}).wakeup")
+        self._join_waiter: Future | None = None
+
+        self._dead = False
+        self._ticker = None
+        self._register_handlers()
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def _kind(self, suffix: str) -> str:
+        return f"grp.{self.group}.{suffix}"
+
+    def _register_handlers(self) -> None:
+        for suffix, handler in [
+            ("req", self._on_req),
+            ("bc", self._on_bc),
+            ("ack", self._on_ack),
+            ("commit", self._on_commit),
+            ("retrans", self._on_retrans),
+            ("hb", self._on_hb),
+            ("echo", self._on_echo),
+            ("fail", self._on_fail),
+            ("join_req", self._on_join_req),
+            ("view", self._on_view),
+            ("probe", self._on_probe),
+            ("vote", self._on_vote),
+            ("leave", self._on_leave),
+        ]:
+            self.transport.register(self._kind(suffix), handler)
+
+    def crash(self) -> None:
+        """Tear the kernel down with its machine."""
+        self._dead = True
+        self.state = STATE_IDLE
+        if self._ticker is not None:
+            self._ticker.kill("kernel crash")
+            self._ticker = None
+
+    def _send(self, dst, suffix: str, payload: dict, size: int = CONTROL_SIZE) -> None:
+        if self._dead or not self.transport.nic.up:
+            return
+        self.transport.send(dst, self._kind(suffix), payload, size)
+
+    def _broadcast(self, suffix: str, payload: dict, size: int = CONTROL_SIZE) -> None:
+        if self._dead or not self.transport.nic.up:
+            return
+        self.transport.broadcast(self._kind(suffix), payload, size)
+
+    def _stamp(self) -> dict:
+        return {"instance": self.instance, "inc": self.incarnation}
+
+    def _current(self, payload: dict) -> bool:
+        """Is this packet from our group instance and incarnation?"""
+        if payload.get("instance") != self.instance:
+            return False
+        inc = payload.get("inc")
+        if inc == self.incarnation:
+            return True
+        if inc is not None and inc > self.incarnation and self.state == STATE_MEMBER:
+            # Traffic from a future view we never saw (its grp.view got
+            # lost, or we were excluded): we are out of sync.
+            self.fail_group(f"saw incarnation {inc} > {self.incarnation}")
+        return False
+
+    # ------------------------------------------------------------------
+    # lifecycle: create / join / leave
+    # ------------------------------------------------------------------
+
+    def create(self, resilience: int) -> None:
+        """Form a brand-new group containing only this member."""
+        self._next_instance += 1
+        self.instance = (self.me, self._next_instance, self.sim.now)
+        self.incarnation = 0
+        self.view = [self.me]
+        self.sequencer = self.me
+        self.resilience = resilience
+        self.state = STATE_MEMBER
+        self.failure_reason = ""
+        self.history.clear()
+        self.sequenced_ids.clear()
+        self.received = self.committed = self.taken = -1
+        self.next_assign = 0
+        self.ack_progress = {}
+        self.last_echo = {}
+        self._promise = (self.incarnation, "")
+        self._start_ticker()
+        self.wakeup.notify_all()
+
+    def start_join(self) -> Future:
+        """Broadcast one join round; the future resolves when a view
+        including us arrives (the member retries rounds and times out)."""
+        fut = Future(f"join({self.group}@{self.me})")
+        self._join_waiter = fut
+        self._broadcast("join_req", {"joiner": self.me})
+        return fut
+
+    def announce_leave(self) -> None:
+        """Tell the sequencer we are leaving (graceful)."""
+        if self.state != STATE_MEMBER:
+            return
+        if self.me == self.sequencer:
+            self._sequencer_remove_member(self.me, graceful=True)
+        else:
+            self._send(self.sequencer, "leave", {**self._stamp(), "member": self.me})
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    def new_msg_id(self) -> tuple:
+        self._next_msg_number += 1
+        return (self.me, self._next_msg_number)
+
+    def submit(self, payload: Any, size: int) -> Future:
+        """Start one SendToGroup; future resolves with the assigned
+        seqno once the message is r-safe (committed)."""
+        fut = Future(f"send({self.group}@{self.me})")
+        if self.state != STATE_MEMBER:
+            fut.fail(GroupFailure(f"not a group member ({self.state})"))
+            return fut
+        msg_id = self.new_msg_id()
+        pending = PendingSend(
+            msg_id, payload, size, fut, self.timings.send_retries
+        )
+        self.pending_sends[msg_id] = pending
+        self._transmit_request(pending)
+        self._arm_send_watchdog(pending)
+        return fut
+
+    def _transmit_request(self, pending: PendingSend) -> None:
+        if self.me == self.sequencer:
+            self._sequence(pending.msg_id, self.me, pending.payload, pending.size)
+        else:
+            self._send(
+                self.sequencer,
+                "req",
+                {
+                    **self._stamp(),
+                    "msg_id": pending.msg_id,
+                    "sender": self.me,
+                    "payload": pending.payload,
+                    "size": pending.size,
+                },
+                pending.size + HEADER_SIZE,
+            )
+
+    def _arm_send_watchdog(self, pending: PendingSend) -> None:
+        def check():
+            if pending.future.resolved or self._dead:
+                return
+            if self.state == STATE_FAILED:
+                self._fail_pending(pending)
+                return
+            if pending.retries_left <= 0:
+                self._fail_pending(pending)
+                return
+            pending.retries_left -= 1
+            if self.state == STATE_MEMBER:
+                self._transmit_request(pending)
+            self._arm_send_watchdog(pending)
+
+        self.sim.schedule(self.timings.send_retry_ms, check)
+
+    def _fail_pending(self, pending: PendingSend) -> None:
+        self.pending_sends.pop(pending.msg_id, None)
+        pending.future.fail_if_pending(
+            GroupFailure(f"send {pending.msg_id} not delivered: {self.failure_reason or 'timeout'}")
+        )
+
+    # ------------------------------------------------------------------
+    # sequencer logic
+    # ------------------------------------------------------------------
+
+    def _sequence(self, msg_id: tuple, sender, payload: Any, size: int) -> None:
+        """Assign the next seqno and multicast (sequencer only)."""
+        existing = self.sequenced_ids.get(msg_id)
+        if existing is not None:
+            # Duplicate request (sender retried): re-announce the record.
+            record = self.history[existing]
+            self._broadcast_record(record)
+            return
+        seqno = self.next_assign
+        self.next_assign += 1
+        record = BcRecord(seqno, msg_id, sender, payload, size)
+        self.history[seqno] = record
+        self.sequenced_ids[msg_id] = seqno
+        if self.received == seqno - 1:
+            self.received = seqno
+        if self._required_acks() == 0 and self.received > self.committed:
+            # With r = 0 (or a single-member view) the commit horizon
+            # rides on the multicast itself: no separate commit packet.
+            self.committed = self.received
+            self._broadcast_record(record)
+            self._after_commit_advance()
+        else:
+            self._broadcast_record(record)
+            self._advance_commit()
+
+    def _broadcast_record(self, record: BcRecord) -> None:
+        self._broadcast(
+            "bc",
+            {
+                **self._stamp(),
+                "seqno": record.seqno,
+                "msg_id": record.msg_id,
+                "sender": record.sender,
+                "payload": record.payload,
+                "size": record.size,
+                "committed": self.committed,
+            },
+            record.size + HEADER_SIZE,
+        )
+
+    def _required_acks(self) -> int:
+        """How many *other* members must hold a message before commit."""
+        others = len(self.view) - 1
+        return min(self.resilience, others)
+
+    def _safe_point(self) -> int:
+        """Highest seqno held by enough members to be r-safe."""
+        need = self._required_acks()
+        if need == 0:
+            return self.received
+        acks = sorted(
+            (self.ack_progress.get(m, -1) for m in self.view if m != self.me),
+            reverse=True,
+        )
+        return min(acks[need - 1], self.received)
+
+    def _advance_commit(self) -> None:
+        if self.me != self.sequencer or self.state != STATE_MEMBER:
+            return
+        safe = self._safe_point()
+        if safe > self.committed:
+            self.committed = safe
+            self._broadcast("commit", {**self._stamp(), "committed": self.committed})
+            self._after_commit_advance()
+
+    def _after_commit_advance(self) -> None:
+        """Resolve local sends covered by the new commit horizon."""
+        for msg_id, pending in list(self.pending_sends.items()):
+            seqno = self.sequenced_ids.get(msg_id)
+            if seqno is not None and seqno <= self.committed:
+                self.pending_sends.pop(msg_id, None)
+                pending.future.resolve_if_pending(seqno)
+        self.wakeup.notify_all()
+
+    # ------------------------------------------------------------------
+    # packet handlers
+    # ------------------------------------------------------------------
+
+    def _on_req(self, packet) -> None:
+        payload = packet.payload
+        if not self._current(payload) or self.state != STATE_MEMBER:
+            return
+        if self.me != self.sequencer:
+            return  # stale sender view; its watchdog will retarget
+        self._sequence(
+            payload["msg_id"], payload["sender"], payload["payload"], payload["size"]
+        )
+
+    def _on_bc(self, packet) -> None:
+        payload = packet.payload
+        if not self._current(payload) or self.state != STATE_MEMBER:
+            return
+        seqno = payload["seqno"]
+        if seqno not in self.history:
+            self.history[seqno] = BcRecord(
+                seqno,
+                payload["msg_id"],
+                payload["sender"],
+                payload["payload"],
+                payload["size"],
+            )
+            self.sequenced_ids[payload["msg_id"]] = seqno
+        self._advance_received()
+        if seqno > self.received:
+            self._maybe_request_retrans()
+        if self.resilience > 0 and self.me != self.sequencer:
+            self._send(
+                self.sequencer,
+                "ack",
+                {**self._stamp(), "member": self.me, "acked": self.received},
+            )
+        self._note_commit(payload.get("committed", -1))
+
+    def _advance_received(self) -> None:
+        while (self.received + 1) in self.history:
+            self.received += 1
+        if self.received >= self.committed:
+            self._retrans_requested_at = None
+
+    def _note_commit(self, committed: int) -> None:
+        if committed > self.committed:
+            self.committed = min(committed, self.received)
+            if committed > self.received:
+                # We are told messages we do not hold are committed.
+                self._maybe_request_retrans()
+            self._after_commit_advance()
+
+    def _on_ack(self, packet) -> None:
+        payload = packet.payload
+        if not self._current(payload) or self.me != self.sequencer:
+            return
+        member, acked = payload["member"], payload["acked"]
+        if acked > self.ack_progress.get(member, -1):
+            self.ack_progress[member] = acked
+        self.last_echo[member] = self.sim.now
+        self._advance_commit()
+
+    def _on_commit(self, packet) -> None:
+        payload = packet.payload
+        if not self._current(payload) or self.state != STATE_MEMBER:
+            return
+        self._note_commit(payload["committed"])
+
+    def _maybe_request_retrans(self) -> None:
+        now = self.sim.now
+        if (
+            self._retrans_requested_at is not None
+            and now - self._retrans_requested_at < self.timings.send_retry_ms
+        ):
+            return
+        self._retrans_requested_at = now
+        if self.sequencer != self.me:
+            self._send(
+                self.sequencer,
+                "retrans",
+                {**self._stamp(), "member": self.me, "from": self.received + 1},
+            )
+
+    def _on_retrans(self, packet) -> None:
+        payload = packet.payload
+        if not self._current(payload) or self.me != self.sequencer:
+            return
+        start = payload["from"]
+        for seqno in range(start, self.received + 1):
+            record = self.history.get(seqno)
+            if record is not None:
+                self._send(
+                    payload["member"],
+                    "bc",
+                    {
+                        **self._stamp(),
+                        "seqno": record.seqno,
+                        "msg_id": record.msg_id,
+                        "sender": record.sender,
+                        "payload": record.payload,
+                        "size": record.size,
+                        "committed": self.committed,
+                    },
+                    record.size + HEADER_SIZE,
+                )
+
+    # -- heartbeats -----------------------------------------------------
+
+    def _start_ticker(self) -> None:
+        if self._ticker is not None:
+            self._ticker.kill("ticker restart")
+        self.last_heartbeat = self.sim.now
+        self._ticker = self.sim.spawn(
+            self._tick_loop(), f"grp({self.group}@{self.me}).ticker"
+        )
+
+    def _tick_loop(self):
+        while not self._dead:
+            yield self.sim.sleep(self.timings.heartbeat_interval_ms)
+            if self._dead or self.state != STATE_MEMBER:
+                continue
+            if self.me == self.sequencer:
+                self._sequencer_tick()
+            else:
+                self._member_tick()
+
+    def _sequencer_tick(self) -> None:
+        self._broadcast(
+            "hb",
+            {
+                **self._stamp(),
+                "committed": self.committed,
+                "next_assign": self.next_assign,
+            },
+        )
+        self._prune_history()
+        timeout = self.timings.echo_timeout_ms
+        for member in list(self.view):
+            if member == self.me:
+                continue
+            last = self.last_echo.get(member, self.last_heartbeat)
+            if self.sim.now - last > timeout:
+                self.fail_group(f"member {member!r} stopped echoing", announce=True)
+                return
+
+    def _member_tick(self) -> None:
+        if self.sim.now - self.last_heartbeat > self.timings.heartbeat_timeout_ms:
+            self.fail_group("sequencer heartbeat lost", announce=True)
+        else:
+            self._prune_history()
+
+    def _prune_history(self) -> None:
+        """Garbage-collect history the group can no longer need.
+
+        Everything strictly below the *floor* may go:
+
+        * the application must still be able to take up to `taken+1`;
+        * the sequencer must be able to retransmit anything some
+          member has not yet acknowledged (`min(ack_progress)`);
+        * a reset coordinator's vote tail starts above its own
+          `received`, which commit guarantees is at least `committed`
+          for every member — so `committed` bounds what peers may ask
+          of us, with HISTORY_MARGIN of slack for stragglers.
+        """
+        floor = min(self.taken, self.committed - HISTORY_MARGIN)
+        if self.me == self.sequencer and self.ack_progress:
+            floor = min(floor, min(self.ack_progress.values()))
+        if floor <= 0:
+            return
+        stale = [s for s in self.history if s < floor]
+        for seqno in stale:
+            record = self.history.pop(seqno)
+            self.sequenced_ids.pop(record.msg_id, None)
+
+    def _on_hb(self, packet) -> None:
+        payload = packet.payload
+        if not self._current(payload) or self.state != STATE_MEMBER:
+            return
+        self.last_heartbeat = self.sim.now
+        if payload["next_assign"] - 1 > self.received:
+            self._maybe_request_retrans()
+        self._note_commit(payload["committed"])
+        self._send(
+            self.sequencer,
+            "echo",
+            {**self._stamp(), "member": self.me, "acked": self.received},
+        )
+
+    def _on_echo(self, packet) -> None:
+        self._on_ack(packet)
+
+    # -- failure ----------------------------------------------------------
+
+    def fail_group(self, reason: str, announce: bool = False) -> None:
+        """Mark the group failed; every blocked primitive wakes with
+        GroupFailure and the application is expected to reset/recover."""
+        if self.state != STATE_MEMBER:
+            return
+        self.state = STATE_FAILED
+        self.failure_reason = reason
+        if announce:
+            self._broadcast("fail", {**self._stamp(), "reason": reason})
+        for pending in list(self.pending_sends.values()):
+            self._fail_pending(pending)
+        self.wakeup.notify_all()
+
+    def _on_fail(self, packet) -> None:
+        payload = packet.payload
+        if not self._current(payload):
+            return
+        self.fail_group(f"peer reported: {payload['reason']}")
+
+    # ------------------------------------------------------------------
+    # view changes: join / leave
+    # ------------------------------------------------------------------
+
+    def _on_join_req(self, packet) -> None:
+        payload = packet.payload
+        if self.state != STATE_MEMBER or self.me != self.sequencer:
+            return
+        joiner = payload["joiner"]
+        if joiner in self.view:
+            # Re-announce the current view (the joiner's ack was lost).
+            self._announce_view(joiner=joiner, joiner_base=self.committed)
+            return
+        self.incarnation += 1
+        self.view = sorted([*self.view, joiner], key=str)
+        self.last_echo[joiner] = self.sim.now
+        self.ack_progress.setdefault(joiner, self.committed)
+        self._announce_view(joiner=joiner, joiner_base=self.committed)
+        self.wakeup.notify_all()
+
+    def _sequencer_remove_member(self, member, graceful: bool) -> None:
+        self.incarnation += 1
+        new_view = [m for m in self.view if m != member]
+        if member == self.me:
+            # Sequencer hands over to the next member (graceful leave).
+            new_sequencer = new_view[0] if new_view else None
+            tail_base = min(
+                [self.ack_progress.get(m, -1) for m in new_view] + [self.committed]
+            )
+            self._announce_view(
+                view=new_view,
+                sequencer=new_sequencer,
+                left=member,
+                tail=[
+                    self.history[s]
+                    for s in range(tail_base + 1, self.received + 1)
+                    if s in self.history
+                ],
+                next_assign=self.next_assign,
+            )
+            self.state = STATE_IDLE
+            self.wakeup.notify_all()
+        else:
+            self.view = new_view
+            self.ack_progress.pop(member, None)
+            self.last_echo.pop(member, None)
+            self._announce_view(left=member)
+            self._advance_commit()
+            self.wakeup.notify_all()
+
+    def _on_leave(self, packet) -> None:
+        payload = packet.payload
+        if not self._current(payload) or self.me != self.sequencer:
+            return
+        if payload["member"] in self.view:
+            self._sequencer_remove_member(payload["member"], graceful=True)
+
+    def _announce_view(
+        self,
+        view=None,
+        sequencer=None,
+        joiner=None,
+        joiner_base: int = -1,
+        left=None,
+        tail: list[BcRecord] | None = None,
+        next_assign: int | None = None,
+        prev_instance=None,
+    ) -> None:
+        self._broadcast(
+            "view",
+            {
+                "instance": self.instance,
+                "prev_instance": prev_instance,
+                "inc": self.incarnation,
+                "view": list(view if view is not None else self.view),
+                "sequencer": sequencer if sequencer is not None else self.sequencer,
+                "resilience": self.resilience,
+                "committed": self.committed,
+                "joiner": joiner,
+                "joiner_base": joiner_base,
+                "left": left,
+                "tail": list(tail or []),
+                "next_assign": next_assign,
+            },
+            size=256,
+        )
+
+    def _on_view(self, packet) -> None:
+        payload = packet.payload
+        same_instance = (
+            payload.get("instance") == self.instance
+            or payload.get("prev_instance") == self.instance
+        )
+        am_joiner = (
+            payload.get("joiner") == self.me
+            and self._join_waiter is not None
+            and self.state != STATE_MEMBER
+        )
+        if not same_instance and not am_joiner:
+            return
+        if same_instance and payload["inc"] <= self.incarnation:
+            return
+        view = payload["view"]
+        if self.me == payload.get("left"):
+            self.state = STATE_IDLE  # our graceful leave completed
+            self.wakeup.notify_all()
+            return
+        if self.me not in view:
+            if self.state == STATE_MEMBER and same_instance:
+                self.fail_group(f"excluded from view {view}")
+            return
+        if am_joiner or (same_instance and self.state in (STATE_MEMBER, STATE_FAILED)):
+            self._adopt_view(payload)
+
+    def _adopt_view(self, payload: dict) -> None:
+        joining = payload.get("joiner") == self.me and self.state != STATE_MEMBER
+        self.instance = payload["instance"]
+        self.incarnation = payload["inc"]
+        self.view = list(payload["view"])
+        self.sequencer = payload["sequencer"]
+        self.resilience = payload.get("resilience", self.resilience)
+        if joining:
+            base = payload["joiner_base"]
+            self.history.clear()
+            self.sequenced_ids.clear()
+            self.received = self.committed = self.taken = base
+        for record in payload.get("tail") or []:
+            if record.seqno not in self.history:
+                self.history[record.seqno] = record
+                self.sequenced_ids[record.msg_id] = record.seqno
+        self._advance_received()
+        if payload["committed"] > self.committed:
+            self.committed = min(payload["committed"], self.received)
+        if self.me == self.sequencer:
+            if payload.get("next_assign") is not None:
+                self.next_assign = payload["next_assign"]
+            self.next_assign = max(self.next_assign, self.received + 1)
+            self.ack_progress = {
+                m: self.ack_progress.get(m, self.committed)
+                for m in self.view
+                if m != self.me
+            }
+            self.last_echo = {m: self.sim.now for m in self.view if m != self.me}
+        was_member = self.state == STATE_MEMBER
+        self.state = STATE_MEMBER
+        self.failure_reason = ""
+        self.last_heartbeat = self.sim.now
+        self._promise = (self.incarnation, "")
+        if self._ticker is None or not was_member:
+            self._start_ticker()
+        if joining and self._join_waiter is not None:
+            waiter, self._join_waiter = self._join_waiter, None
+            waiter.resolve_if_pending(list(self.view))
+        # Re-submit our unfinished sends to the (possibly new) sequencer.
+        for pending in self.pending_sends.values():
+            if not pending.future.resolved:
+                self._transmit_request(pending)
+        self._after_commit_advance()
+        self.wakeup.notify_all()
+
+    # ------------------------------------------------------------------
+    # reset (coordinator arbitration + vote collection)
+    # ------------------------------------------------------------------
+
+    def begin_reset_round(self, cand_inc: int) -> tuple | None:
+        """Try to become reset coordinator at *cand_inc*.
+
+        Returns the coordinator key on success, or None if a stronger
+        candidate holds our promise already.
+        """
+        key = (cand_inc, str(self.me))
+        if cand_inc <= self.incarnation or key < self._promise:
+            return None
+        self._promise = key
+        self._reset_key = key
+        self.reset_votes = {self.me: (self.received, [])}
+        self._broadcast(
+            "probe",
+            {
+                "instance": self.instance,
+                "cand_inc": cand_inc,
+                "coordinator": self.me,
+                "coord_received": self.received,
+            },
+        )
+        return key
+
+    def reset_round_still_mine(self, key: tuple) -> bool:
+        """Whether we kept the promise lock for our reset round."""
+        return self._reset_key == key and self._promise == key
+
+    def _on_probe(self, packet) -> None:
+        payload = packet.payload
+        if payload.get("instance") != self.instance or self.instance is None:
+            return
+        cand_inc = payload["cand_inc"]
+        coordinator = payload["coordinator"]
+        if coordinator == self.me:
+            return
+        key = (cand_inc, str(coordinator))
+        if cand_inc <= self.incarnation or key < self._promise:
+            return
+        self._promise = key
+        if self._reset_key is not None and self._reset_key < key:
+            self._reset_key = None  # abandon our own weaker attempt
+        tail = [
+            self.history[s]
+            for s in range(payload["coord_received"] + 1, self.received + 1)
+            if s in self.history
+        ]
+        self._send(
+            coordinator,
+            "vote",
+            {
+                "instance": self.instance,
+                "cand_inc": cand_inc,
+                "coordinator": coordinator,
+                "member": self.me,
+                "received": self.received,
+                "tail": tail,
+            },
+            size=CONTROL_SIZE + sum(r.size for r in tail),
+        )
+
+    def _on_vote(self, packet) -> None:
+        payload = packet.payload
+        if payload.get("instance") != self.instance:
+            return
+        key = (payload["cand_inc"], str(payload["coordinator"]))
+        if payload["coordinator"] != self.me or self._reset_key != key:
+            return
+        if self.reset_votes is not None:
+            self.reset_votes[payload["member"]] = (
+                payload["received"],
+                payload["tail"],
+            )
+
+    def conclude_reset(self, key: tuple) -> list | None:
+        """Form and announce the new view from collected votes.
+
+        Returns the new view, or None if we lost the arbitration.
+        """
+        if not self.reset_round_still_mine(key) or self.reset_votes is None:
+            self.reset_votes = None
+            self._reset_key = None
+            return None
+        votes = self.reset_votes
+        self.reset_votes = None
+        self._reset_key = None
+        # Merge histories: every record any survivor holds is kept.
+        for _, tail in votes.values():
+            for record in tail:
+                if record.seqno not in self.history:
+                    self.history[record.seqno] = record
+                    self.sequenced_ids[record.msg_id] = record.seqno
+        self._advance_received()
+        cand_inc = key[0]
+        # A reset forms a NEW group instance: two disjoint survivor
+        # sets (e.g. the two sides of a partition) must never produce
+        # views whose traffic can be confused after the network heals.
+        prev_instance = self.instance
+        self.instance = ("reset", prev_instance, cand_inc, str(self.me))
+        self.incarnation = cand_inc
+        self.view = sorted(votes.keys(), key=str)
+        self.sequencer = self.me
+        self.next_assign = self.received + 1
+        # Everything the survivors hold becomes committed: with the old
+        # resilience degree, any message that completed a SendToGroup
+        # was at every member, so recommitting the union is safe.
+        self.committed = self.received
+        self.ack_progress = {m: self.committed for m in self.view if m != self.me}
+        self.last_echo = {m: self.sim.now for m in self.view if m != self.me}
+        self.state = STATE_MEMBER
+        self.failure_reason = ""
+        self._promise = (self.incarnation, "")
+        self.last_heartbeat = self.sim.now
+        tail = [self.history[s] for s in sorted(self.history) if s > min(
+            (received for received, _ in votes.values()), default=-1
+        )]
+        self._announce_view(
+            tail=tail, next_assign=self.next_assign, prev_instance=prev_instance
+        )
+        if self._ticker is None:
+            self._start_ticker()
+        for pending in self.pending_sends.values():
+            if not pending.future.resolved:
+                self._transmit_request(pending)
+        self._after_commit_advance()
+        self.wakeup.notify_all()
+        return list(self.view)

@@ -1,0 +1,245 @@
+"""Application-facing group-communication primitives.
+
+:class:`GroupMember` exposes the seven calls of the paper's Fig. 1 as
+simulation generators (use with ``yield from`` inside a process):
+
+==================  =====================================================
+``create``          CreateGroup — form a new group with only this member
+``join``            JoinGroup — become a member of an existing group
+``leave``           LeaveGroup — leave gracefully
+``send_to_group``   SendToGroup — reliable, totally-ordered multicast
+``receive``         ReceiveFromGroup — next message in sequence
+``reset``           ResetGroup — rebuild the group after a failure
+``info``            GetInfoGroup — group state snapshot (zero-cost)
+==================  =====================================================
+
+``send_to_group`` returns only when the message is *r-safe*: with the
+group's resilience degree ``r``, the message survives any ``r``
+processor crashes. ``receive`` raises
+:class:`~repro.errors.GroupFailure` when a member or sequencer failure
+is detected, after which the application calls ``reset`` (or runs its
+recovery protocol, as the directory service does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import GroupFailure, GroupResetFailed, TimeoutError as SimTimeout
+from repro.group.kernel import (
+    STATE_FAILED,
+    STATE_IDLE,
+    STATE_MEMBER,
+    BcRecord,
+    GroupKernel,
+)
+from repro.group.timings import GroupTimings
+from repro.rpc.transport import Transport
+
+
+@dataclass(frozen=True)
+class GroupInfo:
+    """Snapshot returned by GetInfoGroup."""
+
+    state: str
+    view: tuple
+    incarnation: int
+    sequencer: Any
+    resilience: int
+    #: Highest contiguous seqno this kernel holds (buffered messages).
+    received: int
+    #: Highest seqno known committed (deliverable).
+    committed: int
+    #: Highest seqno the application has consumed via receive().
+    taken: int
+
+    @property
+    def buffered(self) -> int:
+        """Messages the kernel holds that the app has not consumed.
+
+        This is the quantity the paper's read path checks (Fig. 5): a
+        server must apply everything it has *received* before serving
+        a read, or a client could miss its own completed write.
+        """
+        return self.received - self.taken
+
+    @property
+    def size(self) -> int:
+        return len(self.view)
+
+
+class GroupMember:
+    """One process's handle on one group."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        group: str,
+        timings: GroupTimings | None = None,
+    ):
+        self.transport = transport
+        self.sim = transport.sim
+        self.group = group
+        self.kernel = GroupKernel(transport, group, timings)
+        self.timings = self.kernel.timings
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def address(self):
+        return self.kernel.me
+
+    @property
+    def is_member(self) -> bool:
+        return self.kernel.state == STATE_MEMBER
+
+    @property
+    def is_sequencer(self) -> bool:
+        return self.is_member and self.kernel.sequencer == self.kernel.me
+
+    def info(self) -> GroupInfo:
+        """GetInfoGroup: zero-cost state snapshot."""
+        k = self.kernel
+        return GroupInfo(
+            state=k.state,
+            view=tuple(k.view),
+            incarnation=k.incarnation,
+            sequencer=k.sequencer,
+            resilience=k.resilience,
+            received=k.received,
+            committed=k.committed,
+            taken=k.taken,
+        )
+
+    # -- membership -----------------------------------------------------------
+
+    def create(self, resilience: int = 0) -> None:
+        """CreateGroup: start a new group containing only this member."""
+        self.kernel.create(resilience)
+
+    def join(self, attempts: int | None = None):
+        """JoinGroup: broadcast until an existing sequencer admits us.
+
+        Returns the new view; raises GroupFailure when no group
+        answered (the caller may then CreateGroup, as the recovery
+        protocol in the paper's Fig. 6 does).
+        """
+        rounds = attempts if attempts is not None else self.timings.join_attempts
+        for _ in range(rounds):
+            fut = self.kernel.start_join()
+            try:
+                view = yield self.sim.timeout(
+                    fut, self.timings.join_timeout_ms, "join timeout"
+                )
+                return view
+            except SimTimeout:
+                continue
+        self.kernel._join_waiter = None
+        raise GroupFailure(f"no sequencer answered {rounds} join broadcasts")
+
+    def leave(self):
+        """LeaveGroup: graceful departure (waits for the view change)."""
+        self.kernel.announce_leave()
+        yield from self.kernel.wakeup.wait_until(
+            lambda: self.kernel.state != STATE_MEMBER
+        )
+        self.kernel.state = STATE_IDLE
+
+    # -- messaging ----------------------------------------------------------------
+
+    def send_to_group(self, payload: Any, size: int = 128):
+        """SendToGroup: returns the assigned seqno once r-safe."""
+        seqno = yield self.kernel.submit(payload, size)
+        return seqno
+
+    def receive(self):
+        """ReceiveFromGroup: the next message in total order.
+
+        Returns a :class:`BcRecord`; raises GroupFailure when the
+        kernel detects a member/sequencer failure (call ``reset``).
+        """
+        kernel = self.kernel
+        while True:
+            if kernel.state == STATE_FAILED:
+                raise GroupFailure(kernel.failure_reason or "group failed")
+            if kernel.state == STATE_MEMBER and kernel.taken < kernel.committed:
+                next_seqno = kernel.taken + 1
+                record = kernel.history.get(next_seqno)
+                if record is not None:
+                    kernel.taken = next_seqno
+                    return record
+            yield kernel.wakeup.wait()
+
+    def try_receive(self) -> BcRecord | None:
+        """Non-blocking receive; None when nothing is deliverable."""
+        kernel = self.kernel
+        if kernel.state != STATE_MEMBER or kernel.taken >= kernel.committed:
+            return None
+        record = kernel.history.get(kernel.taken + 1)
+        if record is not None:
+            kernel.taken += 1
+        return record
+
+    # -- reset ------------------------------------------------------------------
+
+    def reset(self, max_rounds: int = 8):
+        """ResetGroup: rebuild from surviving members after a failure.
+
+        Returns the new view. Concurrent resetters arbitrate by
+        (incarnation, address); losers adopt the winner's view. Raises
+        GroupResetFailed when no view forms within *max_rounds*.
+        """
+        kernel = self.kernel
+        rng = self.sim.rng.stream(f"grp.reset.{kernel.me}")
+        cand_inc = kernel.incarnation + 1
+        for _ in range(max_rounds):
+            if kernel.state == STATE_MEMBER:
+                return list(kernel.view)  # someone else's reset included us
+            key = kernel.begin_reset_round(cand_inc)
+            if key is None:
+                # A stronger candidate holds our promise; wait for its view.
+                yield self.sim.sleep(
+                    self.timings.reset_vote_window_ms
+                    + rng.uniform(
+                        self.timings.reset_backoff_min_ms,
+                        self.timings.reset_backoff_max_ms,
+                    )
+                )
+                cand_inc = max(cand_inc, kernel._promise[0]) + 1
+                continue
+            yield self.sim.sleep(self.timings.reset_vote_window_ms)
+            if kernel.state == STATE_MEMBER:
+                return list(kernel.view)
+            view = kernel.conclude_reset(key)
+            if view is not None:
+                return view
+            cand_inc = max(cand_inc, kernel._promise[0]) + 1
+        raise GroupResetFailed(
+            f"reset of group {self.group!r} failed after {max_rounds} rounds"
+        )
+
+    # -- waiting helpers (used by the directory server's read path) -----------
+
+    def wait_applied(self, target_seqno: int, applied: "callable"):
+        """Block until ``applied() >= target_seqno`` or the group fails.
+
+        *applied* is the application's own progress counter (the
+        directory server's last-applied kernel seqno). The application
+        must call :meth:`notify_progress` after advancing it. Mirrors
+        the ``wait until seqno = buffered_seqno`` step of Fig. 5.
+        """
+        kernel = self.kernel
+        while applied() < target_seqno:
+            if kernel.state == STATE_FAILED:
+                raise GroupFailure(kernel.failure_reason or "group failed")
+            yield kernel.wakeup.wait()
+
+    def notify_progress(self) -> None:
+        """Wake processes blocked in :meth:`wait_applied` (call after
+        the application applies a received message)."""
+        self.kernel.wakeup.notify_all()
+
+    def crash(self) -> None:
+        """Tear down with the machine (kills the kernel ticker)."""
+        self.kernel.crash()

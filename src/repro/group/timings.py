@@ -1,0 +1,36 @@
+"""Protocol timing knobs for the group layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class GroupTimings:
+    """All group-protocol timeouts, in simulated milliseconds.
+
+    The defaults suit the paper's LAN: packet latency well under a
+    millisecond, so tens of milliseconds of silence mean trouble.
+    Recovery benchmarks vary these to study detection-latency
+    trade-offs.
+    """
+
+    #: Sequencer heartbeat period (heartbeats carry the commit horizon).
+    heartbeat_interval_ms: float = 25.0
+    #: A member declares the sequencer dead after this much silence.
+    heartbeat_timeout_ms: float = 120.0
+    #: The sequencer declares a member dead after this much echo silence.
+    echo_timeout_ms: float = 120.0
+    #: Sender retransmits its request if not sequenced within this time.
+    send_retry_ms: float = 60.0
+    #: Retransmission attempts before the sender declares group failure.
+    send_retries: int = 3
+    #: How long a reset coordinator collects votes before forming a view.
+    reset_vote_window_ms: float = 25.0
+    #: How long one join broadcast waits for a sequencer's answer.
+    join_timeout_ms: float = 40.0
+    #: Join broadcast attempts before JoinGroup gives up.
+    join_attempts: int = 3
+    #: Backoff bounds before a losing reset coordinator retries.
+    reset_backoff_min_ms: float = 10.0
+    reset_backoff_max_ms: float = 40.0

@@ -1,0 +1,15 @@
+"""Simulated 10 Mbit/s Ethernet segment with multicast.
+
+The paper's testbed is a single Ethernet; Amoeba's FLIP protocol uses
+the hardware multicast capability so a ``SendToGroup`` costs one packet
+on the wire regardless of group size. This package models exactly
+that: point-to-point frames, true multicast/broadcast frames, clean
+network partitions (any two nodes in the same partition communicate;
+across partitions nothing does), per-packet loss injection, and
+counters used by the message-count benchmarks.
+"""
+
+from repro.net.network import BROADCAST, Network, Nic, Packet
+from repro.net.partition import PartitionController
+
+__all__ = ["BROADCAST", "Network", "Nic", "Packet", "PartitionController"]

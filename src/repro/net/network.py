@@ -1,0 +1,223 @@
+"""The simulated Ethernet segment.
+
+Every simulated machine attaches one :class:`Nic`. Sending costs
+simulated time per the :class:`~repro.sim.latency.NetworkLatency`
+model; a multicast is *one* frame on the wire (as with Ethernet
+hardware multicast, which Amoeba's FLIP exploits) delivered to every
+reachable NIC.
+
+Failure model, mirroring the paper's assumptions:
+
+* fail-stop machines — a down NIC neither sends nor receives;
+* clean partitions via :class:`~repro.net.partition.PartitionController`;
+* optional uniform packet loss (off by default; the group protocol's
+  retransmission machinery is exercised with it on).
+
+Reachability is evaluated at *delivery* time, so a partition that
+forms while a frame is in flight drops the frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable
+
+from repro.errors import NetworkError
+from repro.sim.latency import LatencyModel
+from repro.sim.primitives import Channel
+from repro.sim.scheduler import Simulator
+
+Address = Hashable
+
+#: Destination constant for link-level broadcast frames.
+BROADCAST = "<broadcast>"
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One frame as seen by a receiving NIC."""
+
+    src: Address
+    dst: Address  # the NIC it was delivered to (not BROADCAST)
+    kind: str  # protocol discriminator, e.g. "rpc.request", "grp.bc"
+    payload: Any
+    size: int  # bytes, for wire-time accounting
+    multicast: bool = False
+
+
+@dataclass
+class NetworkStats:
+    """Wire-level counters (one frame counted once, however many receivers)."""
+
+    frames_sent: int = 0
+    bytes_sent: int = 0
+    frames_dropped: int = 0
+    frames_by_kind: dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: str, size: int) -> None:
+        self.frames_sent += 1
+        self.bytes_sent += size
+        self.frames_by_kind[kind] = self.frames_by_kind.get(kind, 0) + 1
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of the per-kind counters (for before/after diffs)."""
+        return dict(self.frames_by_kind)
+
+
+class Network:
+    """A single Ethernet-like segment."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel | None = None,
+        loss_probability: float = 0.0,
+    ):
+        self.sim = sim
+        self.latency = latency or LatencyModel.paper_testbed()
+        self.loss_probability = loss_probability
+        self.partitions = PartitionControllerProxy()
+        self.stats = NetworkStats()
+        self._nics: dict[Address, "Nic"] = {}
+        # Per (src, dst) pair: last scheduled arrival time. A single
+        # Ethernet segment serializes frames, so delivery between a
+        # given pair is FIFO even with per-packet jitter.
+        self._last_arrival: dict[tuple[Address, Address], float] = {}
+
+    # -- topology --------------------------------------------------------
+
+    def attach(self, address: Address) -> "Nic":
+        """Create and register the NIC for *address*."""
+        if address in self._nics:
+            raise NetworkError(f"address {address!r} already attached")
+        nic = Nic(self, address)
+        self._nics[address] = nic
+        return nic
+
+    def nic(self, address: Address) -> "Nic":
+        """Look up an attached NIC."""
+        try:
+            return self._nics[address]
+        except KeyError:
+            raise NetworkError(f"no NIC at address {address!r}") from None
+
+    def addresses(self) -> list[Address]:
+        """All attached addresses, in attach order."""
+        return list(self._nics)
+
+    def reachable(self, src: Address, dst: Address) -> bool:
+        """Whether a frame from *src* would currently reach *dst*."""
+        dst_nic = self._nics.get(dst)
+        if dst_nic is None or not dst_nic.up:
+            return False
+        src_nic = self._nics.get(src)
+        if src_nic is None or not src_nic.up:
+            return False
+        return self.partitions.connected(src, dst)
+
+    # -- transmission ------------------------------------------------------
+
+    def transmit(
+        self,
+        src: Address,
+        dst: Address,
+        kind: str,
+        payload: Any,
+        size: int,
+    ) -> None:
+        """Put one frame on the wire (unicast, or BROADCAST)."""
+        src_nic = self.nic(src)
+        if not src_nic.up:
+            raise NetworkError(f"NIC {src!r} is down")
+        self.stats.record(kind, size)
+        if self._lost():
+            self.stats.frames_dropped += 1
+            return
+        delay = self.latency.network.transmit_time(size) + self._jitter()
+        if dst == BROADCAST:
+            receivers: Iterable[Address] = [a for a in self._nics if a != src]
+            multicast = True
+        else:
+            receivers = [dst]
+            multicast = False
+        for receiver in receivers:
+            packet = Packet(src, receiver, kind, payload, size, multicast)
+            pair = (src, receiver)
+            arrival = self.sim.now + delay
+            previous = self._last_arrival.get(pair, 0.0)
+            if arrival < previous:
+                arrival = previous  # keep per-pair delivery FIFO
+            self._last_arrival[pair] = arrival
+            self.sim.schedule(arrival - self.sim.now, lambda p=packet: self._deliver(p))
+
+    def _deliver(self, packet: Packet) -> None:
+        if not self.reachable(packet.src, packet.dst):
+            self.stats.frames_dropped += 1
+            return
+        self._nics[packet.dst].inbox.send(packet)
+
+    def _lost(self) -> bool:
+        if self.loss_probability <= 0.0:
+            return False
+        return self.sim.rng.uniform("net.loss", 0.0, 1.0) < self.loss_probability
+
+    def _jitter(self) -> float:
+        bound = self.latency.network.jitter_ms
+        if bound <= 0.0:
+            return 0.0
+        return self.sim.rng.uniform("net.jitter", 0.0, bound)
+
+
+class PartitionControllerProxy:
+    """Thin alias so ``network.partitions.split(...)`` reads naturally."""
+
+    def __init__(self):
+        from repro.net.partition import PartitionController
+
+        self._controller = PartitionController()
+
+    def __getattr__(self, item):
+        return getattr(self._controller, item)
+
+
+class Nic:
+    """One machine's network interface.
+
+    Frames arrive on :attr:`inbox` (a :class:`Channel` of
+    :class:`Packet`); protocol layers either drain it themselves or
+    spawn a demultiplexer process (see :mod:`repro.rpc.transport`).
+    """
+
+    def __init__(self, network: Network, address: Address):
+        self.network = network
+        self.address = address
+        self.up = True
+        self.inbox = Channel(f"nic({address}).inbox")
+
+    # -- lifecycle --------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Take the NIC down (machine crash); pending frames are lost."""
+        self.up = False
+        self.inbox.close(NetworkError(f"NIC {self.address!r} went down"))
+
+    def restart(self) -> None:
+        """Bring the NIC back up with a fresh, empty inbox."""
+        self.up = True
+        self.inbox = Channel(f"nic({self.address}).inbox")
+
+    # -- sending ----------------------------------------------------------
+
+    def send(self, dst: Address, kind: str, payload: Any, size: int = 128) -> None:
+        """Unicast one frame to *dst*."""
+        self.network.transmit(self.address, dst, kind, payload, size)
+
+    def broadcast(self, kind: str, payload: Any, size: int = 128) -> None:
+        """Multicast one frame to every other attached NIC."""
+        self.network.transmit(self.address, BROADCAST, kind, payload, size)
+
+    # -- receiving ---------------------------------------------------------
+
+    def recv(self):
+        """Future resolving with the next delivered :class:`Packet`."""
+        return self.inbox.recv()

@@ -1,0 +1,19 @@
+"""Amoeba-style remote procedure call.
+
+The client primitive is ``trans(port, request)``: locate a server
+listening to *port* (broadcast locate, HEREIS replies, port cache),
+send the request, and wait for the reply. Servers accept work with
+``getreq``/``putrep`` threads. A request arriving at a server with no
+listening thread is bounced with NOTHERE, which makes the client fail
+over to another cached server — the load-distribution heuristic whose
+imperfection shapes Fig. 8 of the paper.
+
+An Amoeba RPC costs 3 packets (request, reply, ack), which the
+message-count benchmark checks against the paper's analysis.
+"""
+
+from repro.rpc.client import RpcClient
+from repro.rpc.server import RpcServer
+from repro.rpc.transport import Transport
+
+__all__ = ["RpcClient", "RpcServer", "Transport"]

@@ -1,0 +1,129 @@
+"""Client side of Amoeba RPC: trans().
+
+``trans`` is a generator (run it inside a simulation process with
+``yield from``). It implements the fail-over heuristic the paper
+describes: send to the first server in the port cache; on NOTHERE or
+timeout drop that server from the cache and try the next one,
+re-locating when the cache runs dry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.amoeba.capability import Port
+from repro.errors import LocateError, RpcError, TimeoutError as SimTimeout
+from repro.rpc.kernel import NotHereBounce, rpc_kernel
+from repro.rpc.transport import Transport
+
+
+@dataclass
+class RpcTimings:
+    """Client-side RPC tunables (simulated milliseconds)."""
+
+    #: How long one locate round waits for a HEREIS before rebroadcasting.
+    locate_timeout_ms: float = 30.0
+    #: Locate rounds before giving up with LocateError.
+    locate_attempts: int = 5
+    #: How long to wait for a reply before assuming the server died.
+    reply_timeout_ms: float = 4000.0
+    #: Distinct servers tried (via NOTHERE/timeout fail-over) per trans.
+    max_attempts: int = 8
+    #: Backoff before retrying when every known server bounced us.
+    retry_backoff_ms: float = 2.0
+
+
+class RpcClient:
+    """One machine's client-side RPC interface."""
+
+    def __init__(self, transport: Transport, timings: RpcTimings | None = None):
+        self.transport = transport
+        self.sim = transport.sim
+        self.timings = timings or RpcTimings()
+        self._kernel = rpc_kernel(transport)
+        self.transactions = 0
+        self.bounces = 0  # NOTHERE responses seen (for Fig. 8 analysis)
+
+    # -- public API -------------------------------------------------------
+
+    def trans(
+        self,
+        port: Port,
+        body: Any,
+        size: int = 128,
+        reply_timeout_ms: float | None = None,
+    ):
+        """Perform one RPC transaction; returns the reply body.
+
+        Raises whatever exception the server handler raised, or
+        :class:`RpcError`/:class:`LocateError` when no server could be
+        reached. Use as ``reply = yield from client.trans(...)``.
+        """
+        timeout = reply_timeout_ms or self.timings.reply_timeout_ms
+        overhead = self.transport.nic.network.latency.cpu.client_overhead_ms
+        if overhead:
+            yield self.sim.sleep(overhead)
+        last_error: Exception | None = None
+        for _ in range(self.timings.max_attempts):
+            server = yield from self._pick_server(port)
+            txid = self._kernel.new_txid()
+            fut = self._kernel.send_request(server, port, txid, body, size)
+            try:
+                reply = yield self.sim.timeout(fut, timeout, f"rpc to {server}")
+            except NotHereBounce as bounce:
+                self.bounces += 1
+                self._kernel.drop_cached_server(port, bounce.server)
+                last_error = bounce
+                yield self.sim.sleep(self.timings.retry_backoff_ms)
+                continue
+            except SimTimeout as timed_out:
+                self._kernel.forget_transaction(txid)
+                self._kernel.drop_cached_server(port, server)
+                last_error = timed_out
+                continue
+            # Server-raised exceptions surface here via fut.fail().
+            self.transactions += 1
+            return reply
+        raise RpcError(
+            f"trans to port {port} failed after "
+            f"{self.timings.max_attempts} attempts: {last_error!r}"
+        )
+
+    def forget_port(self, port: Port) -> None:
+        """Drop all cached servers for *port* (forces a fresh locate)."""
+        self._kernel.port_cache.pop(port, None)
+
+    def cached_servers(self, port: Port) -> list:
+        """Snapshot of the current port-cache entry (first = preferred)."""
+        return list(self._kernel.cached_servers(port))
+
+    # -- locate ------------------------------------------------------------
+
+    def _pick_server(self, port: Port):
+        """The preferred server for *port*, locating if the cache is empty."""
+        servers = self._kernel.cached_servers(port)
+        if servers:
+            return servers[0]
+        yield from self._locate(port)
+        servers = self._kernel.cached_servers(port)
+        if not servers:
+            raise LocateError(f"locate for port {port} found no servers")
+        return servers[0]
+
+    def _locate(self, port: Port):
+        for _ in range(self.timings.locate_attempts):
+            locate_id, fut = self._kernel.start_locate(port)
+            try:
+                yield self.sim.timeout(
+                    fut, self.timings.locate_timeout_ms, f"locate {port}"
+                )
+                return
+            except SimTimeout:
+                continue
+            finally:
+                self._kernel.end_locate(locate_id)
+        raise LocateError(
+            f"no server answered {self.timings.locate_attempts} locate "
+            f"broadcasts for port {port}"
+        )

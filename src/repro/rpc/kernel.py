@@ -1,0 +1,216 @@
+"""The kernel half of Amoeba RPC: dispatch, port cache, locate.
+
+One :class:`RpcKernel` exists per machine (lazily attached to the
+machine's :class:`~repro.rpc.transport.Transport`). It plays the role
+Amoeba's kernel plays in the paper's section 4.2:
+
+* keeps the **port cache** mapping service ports to the network
+  addresses of servers that answered a locate broadcast;
+* broadcasts **locate** messages and collects **HEREIS** replies,
+  caching every responder in arrival order;
+* delivers incoming requests to a listening server thread, or bounces
+  them with **NOTHERE** when no thread is blocked in ``getreq`` —
+  which is what makes clients fail over and (imperfectly) balance
+  load across replicas.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.amoeba.capability import Port
+from repro.net.network import Packet
+from repro.rpc.transport import Transport
+from repro.sim.future import Future
+
+KIND_LOCATE = "rpc.locate"
+KIND_HEREIS = "rpc.hereis"
+KIND_REQUEST = "rpc.request"
+KIND_REPLY = "rpc.reply"
+KIND_NOTHERE = "rpc.nothere"
+KIND_ACK = "rpc.ack"
+
+#: Wire sizes (bytes) for the small fixed-format control packets.
+CONTROL_PACKET_SIZE = 64
+
+
+class NotHereBounce(Exception):
+    """Internal signal: the addressed server was not listening."""
+
+    def __init__(self, server):
+        super().__init__(f"server {server!r} not listening")
+        self.server = server
+
+
+def rpc_kernel(transport: Transport) -> "RpcKernel":
+    """The machine's RPC kernel, created on first use."""
+    kernel = getattr(transport, "_rpc_kernel", None)
+    if kernel is None or not kernel.attached:
+        kernel = RpcKernel(transport)
+        transport._rpc_kernel = kernel
+    return kernel
+
+
+class RpcKernel:
+    """Per-machine RPC state shared by all local clients and servers."""
+
+    def __init__(self, transport: Transport):
+        self.transport = transport
+        self.sim = transport.sim
+        self.attached = True
+        self.port_cache: dict[Port, list[Any]] = {}
+        self._servers: dict[Port, "ServerEndpoint"] = {}
+        self._pending: dict[tuple, Future] = {}
+        self._locate_waiters: dict[int, Future] = {}
+        self._next_txid = 0
+        self._next_locate = 0
+        for kind, handler in [
+            (KIND_LOCATE, self._on_locate),
+            (KIND_HEREIS, self._on_hereis),
+            (KIND_REQUEST, self._on_request),
+            (KIND_REPLY, self._on_reply),
+            (KIND_NOTHERE, self._on_nothere),
+            (KIND_ACK, self._on_ack),
+        ]:
+            transport.register(kind, handler)
+
+    # -- server registry ---------------------------------------------------
+
+    def register_server(self, port: Port, endpoint: "ServerEndpoint") -> None:
+        self._servers[port] = endpoint
+
+    def unregister_server(self, port: Port) -> None:
+        self._servers.pop(port, None)
+
+    # -- client-side API ------------------------------------------------------
+
+    def new_txid(self) -> tuple:
+        self._next_txid += 1
+        return (self.transport.address, self._next_txid)
+
+    def send_request(self, server, port: Port, txid, body, size: int) -> Future:
+        """Fire a request at *server*; the future settles with the reply
+        body, a :class:`NotHereBounce`, or the server-raised exception."""
+        fut = Future(f"trans({port} -> {server})")
+        self._pending[txid] = fut
+        self.transport.send(
+            server,
+            KIND_REQUEST,
+            {"txid": txid, "port": port, "body": body},
+            size,
+        )
+        return fut
+
+    def forget_transaction(self, txid) -> None:
+        """Drop a pending transaction (after a timeout)."""
+        self._pending.pop(txid, None)
+
+    def start_locate(self, port: Port) -> tuple[int, Future]:
+        """Broadcast one locate round; future resolves at first HEREIS."""
+        self._next_locate += 1
+        locate_id = self._next_locate
+        fut = Future(f"locate({port})")
+        self._locate_waiters[locate_id] = fut
+        self.transport.broadcast(
+            KIND_LOCATE,
+            {"port": port, "client": self.transport.address, "locate_id": locate_id},
+            CONTROL_PACKET_SIZE,
+        )
+        return locate_id, fut
+
+    def end_locate(self, locate_id: int) -> None:
+        self._locate_waiters.pop(locate_id, None)
+
+    def cached_servers(self, port: Port) -> list:
+        """Mutable list of cached server addresses for *port*."""
+        return self.port_cache.setdefault(port, [])
+
+    def drop_cached_server(self, port: Port, server) -> None:
+        servers = self.port_cache.get(port)
+        if servers and server in servers:
+            servers.remove(server)
+
+    # -- packet handlers -----------------------------------------------------
+
+    def _on_locate(self, packet: Packet) -> None:
+        payload = packet.payload
+        endpoint = self._servers.get(payload["port"])
+        if endpoint is None or not endpoint.listening:
+            return  # a busy or absent server stays silent at locate time
+        self.transport.send(
+            payload["client"],
+            KIND_HEREIS,
+            {
+                "port": payload["port"],
+                "server": self.transport.address,
+                "locate_id": payload["locate_id"],
+            },
+            CONTROL_PACKET_SIZE,
+        )
+
+    def _on_hereis(self, packet: Packet) -> None:
+        payload = packet.payload
+        servers = self.cached_servers(payload["port"])
+        if payload["server"] not in servers:
+            servers.append(payload["server"])
+        waiter = self._locate_waiters.get(payload["locate_id"])
+        if waiter is not None:
+            waiter.resolve_if_pending(payload["server"])
+
+    def _on_request(self, packet: Packet) -> None:
+        payload = packet.payload
+        endpoint = self._servers.get(payload["port"])
+        if endpoint is None or not endpoint.listening:
+            self.transport.send(
+                packet.src,
+                KIND_NOTHERE,
+                {"txid": payload["txid"], "port": payload["port"]},
+                CONTROL_PACKET_SIZE,
+            )
+            return
+        endpoint.deliver(payload["body"], packet.src, payload["txid"])
+
+    def _on_reply(self, packet: Packet) -> None:
+        payload = packet.payload
+        fut = self._pending.pop(payload["txid"], None)
+        # Acknowledge regardless: the server's kernel frees the
+        # transaction state (third packet of the Amoeba 3-packet RPC).
+        self.transport.send(
+            packet.src, KIND_ACK, {"txid": payload["txid"]}, CONTROL_PACKET_SIZE
+        )
+        if fut is None:
+            return  # duplicate or timed-out transaction
+        error = payload.get("error")
+        if error is not None:
+            fut.fail_if_pending(error)
+        else:
+            fut.resolve_if_pending(payload["body"])
+
+    def _on_nothere(self, packet: Packet) -> None:
+        payload = packet.payload
+        fut = self._pending.pop(payload["txid"], None)
+        if fut is not None:
+            fut.fail_if_pending(NotHereBounce(packet.src))
+
+    def _on_ack(self, packet: Packet) -> None:
+        pass  # transaction state is implicit in the simulation
+
+    def send_reply(self, client, txid, body, error, size: int) -> None:
+        """Server half: transmit a reply packet."""
+        self.transport.send(
+            client,
+            KIND_REPLY,
+            {"txid": txid, "body": body, "error": error},
+            size,
+        )
+
+
+class ServerEndpoint:
+    """Protocol expected from objects registered as servers."""
+
+    @property
+    def listening(self) -> bool:  # pragma: no cover - interface only
+        raise NotImplementedError
+
+    def deliver(self, body, client, txid) -> None:  # pragma: no cover
+        raise NotImplementedError

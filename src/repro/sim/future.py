@@ -1,0 +1,166 @@
+"""Futures: single-assignment result placeholders for the simulator.
+
+A :class:`Future` is resolved exactly once, either with a value
+(:meth:`Future.resolve`) or with an exception (:meth:`Future.fail`).
+Processes suspend on futures by yielding them; the scheduler resumes
+the process with the value (or raises the exception inside it).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.errors import Interrupted, SimulationError
+
+_PENDING = object()
+
+
+class Future:
+    """A single-assignment value that processes can wait on.
+
+    Futures are intentionally tiny: no locking (the simulator is
+    single-threaded) and no implicit scheduling — callbacks run
+    synchronously when the future settles, which keeps event ordering
+    deterministic.
+    """
+
+    __slots__ = ("_value", "_exception", "_callbacks", "name")
+
+    def __init__(self, name: str = ""):
+        self._value: Any = _PENDING
+        self._exception: BaseException | None = None
+        self._callbacks: list[Callable[[Future], None]] = []
+        self.name = name
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def resolved(self) -> bool:
+        """True once the future has a value or an exception."""
+        return self._value is not _PENDING or self._exception is not None
+
+    @property
+    def value(self) -> Any:
+        """The settled value; raises if pending or failed."""
+        if self._exception is not None:
+            raise self._exception
+        if self._value is _PENDING:
+            raise SimulationError(f"future {self.name!r} is still pending")
+        return self._value
+
+    @property
+    def exception(self) -> BaseException | None:
+        """The exception the future failed with, if any."""
+        return self._exception
+
+    # -- settling ------------------------------------------------------
+
+    def resolve(self, value: Any = None) -> None:
+        """Settle the future successfully with *value*."""
+        if self.resolved:
+            raise SimulationError(f"future {self.name!r} resolved twice")
+        self._value = value
+        self._run_callbacks()
+
+    def fail(self, exc: BaseException) -> None:
+        """Settle the future with an exception."""
+        if self.resolved:
+            raise SimulationError(f"future {self.name!r} resolved twice")
+        self._exception = exc
+        self._run_callbacks()
+
+    def resolve_if_pending(self, value: Any = None) -> bool:
+        """Resolve unless already settled; returns True if it resolved."""
+        if self.resolved:
+            return False
+        self.resolve(value)
+        return True
+
+    def fail_if_pending(self, exc: BaseException) -> bool:
+        """Fail unless already settled; returns True if it failed."""
+        if self.resolved:
+            return False
+        self.fail(exc)
+        return True
+
+    def interrupt(self, reason: str = "interrupted") -> bool:
+        """Fail the future with :class:`Interrupted` if still pending."""
+        return self.fail_if_pending(Interrupted(reason))
+
+    # -- notification ----------------------------------------------------
+
+    def add_callback(self, fn: Callable[[Future], None]) -> None:
+        """Run ``fn(self)`` when the future settles (now, if already settled)."""
+        if self.resolved:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._exception is not None:
+            state = f"failed={self._exception!r}"
+        elif self._value is not _PENDING:
+            state = f"value={self._value!r}"
+        else:
+            state = "pending"
+        return f"<Future {self.name!r} {state}>"
+
+
+def all_of(futures: Iterable[Future], name: str = "all_of") -> Future:
+    """A future resolving with a list of values once *all* inputs resolve.
+
+    Fails as soon as any input fails (remaining results are discarded).
+    """
+    futures = list(futures)
+    result = Future(name)
+    if not futures:
+        result.resolve([])
+        return result
+    remaining = {"count": len(futures)}
+
+    def on_done(_: Future) -> None:
+        if result.resolved:
+            return
+        failed = next((f for f in futures if f.exception is not None), None)
+        if failed is not None:
+            result.fail(failed.exception)  # type: ignore[arg-type]
+            return
+        remaining["count"] -= 1
+        if remaining["count"] == 0:
+            result.resolve([f.value for f in futures])
+
+    for fut in futures:
+        fut.add_callback(on_done)
+    return result
+
+
+def any_of(futures: Iterable[Future], name: str = "any_of") -> Future:
+    """A future that settles like the *first* input future to settle.
+
+    Resolves with an ``(index, value)`` pair so the caller can tell
+    which input won the race.
+    """
+    futures = list(futures)
+    if not futures:
+        raise SimulationError("any_of() requires at least one future")
+    result = Future(name)
+
+    def make_callback(index: int) -> Callable[[Future], None]:
+        def on_done(fut: Future) -> None:
+            if result.resolved:
+                return
+            if fut.exception is not None:
+                result.fail(fut.exception)
+            else:
+                result.resolve((index, fut.value))
+
+        return on_done
+
+    for i, fut in enumerate(futures):
+        fut.add_callback(make_callback(i))
+    return result

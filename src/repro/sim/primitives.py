@@ -1,0 +1,171 @@
+"""Synchronization primitives built on futures.
+
+These mirror the facilities the Amoeba servers use: condition-style
+wakeups (the initiator thread blocking until the group thread has
+applied its update), bounded mailboxes between kernel and threads, and
+mutual exclusion for the RPC service's conflict detection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque
+
+from repro.errors import SimulationError
+from repro.sim.future import Future
+
+
+class Condition:
+    """Broadcast condition variable.
+
+    ``wait()`` returns a future that resolves at the next
+    ``notify_all()``. A predicate-based helper avoids the classic
+    missed-wakeup bug in generator processes.
+    """
+
+    def __init__(self, name: str = "condition"):
+        self.name = name
+        self._waiters: list[Future] = []
+
+    def wait(self) -> Future:
+        """Future resolving at the next notify_all()."""
+        fut = Future(f"{self.name}.wait")
+        self._waiters.append(fut)
+        return fut
+
+    def notify_all(self, value: Any = None) -> int:
+        """Wake every current waiter; returns how many were woken."""
+        waiters, self._waiters = self._waiters, []
+        for fut in waiters:
+            fut.resolve_if_pending(value)
+        return len(waiters)
+
+    def wait_until(self, predicate: Callable[[], bool]):
+        """Generator helper: wait (re-checking at each notify) until true.
+
+        Use as ``yield from condition.wait_until(lambda: ...)``.
+        """
+        while not predicate():
+            yield self.wait()
+
+
+class Semaphore:
+    """Counting semaphore with FIFO wakeup order."""
+
+    def __init__(self, value: int = 1, name: str = "semaphore"):
+        if value < 0:
+            raise SimulationError("semaphore initial value must be >= 0")
+        self.name = name
+        self._value = value
+        self._waiters: Deque[Future] = deque()
+
+    @property
+    def value(self) -> int:
+        """Current count (0 means the next acquire blocks)."""
+        return self._value
+
+    def acquire(self) -> Future:
+        """Future resolving once a unit is held."""
+        fut = Future(f"{self.name}.acquire")
+        if self._value > 0:
+            self._value -= 1
+            fut.resolve()
+        else:
+            self._waiters.append(fut)
+        return fut
+
+    def try_acquire(self) -> bool:
+        """Take a unit without blocking; False if none available."""
+        if self._value > 0:
+            self._value -= 1
+            return True
+        return False
+
+    def release(self) -> None:
+        """Return a unit, waking the oldest waiter if any."""
+        while self._waiters:
+            fut = self._waiters.popleft()
+            if fut.resolve_if_pending():
+                return
+        self._value += 1
+
+
+class Mutex(Semaphore):
+    """Binary semaphore with held/free introspection."""
+
+    def __init__(self, name: str = "mutex"):
+        super().__init__(1, name)
+
+    @property
+    def held(self) -> bool:
+        """True while some process holds the mutex."""
+        return self._value == 0
+
+    def locked(self):
+        """Generator context helper: ``yield from mutex.locked()`` is not
+        supported in Python generators; use acquire/release explicitly."""
+        raise SimulationError("use acquire()/release() explicitly")
+
+
+class Channel:
+    """Unbounded FIFO mailbox between processes.
+
+    ``recv()`` returns a future for the next item; sends never block.
+    A channel can be *closed*, after which pending and future receives
+    fail with the provided exception — this is how NIC shutdown and
+    server crashes propagate to blocked reader threads.
+    """
+
+    def __init__(self, name: str = "channel"):
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._waiters: Deque[Future] = deque()
+        self._closed: BaseException | None = None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        """True once close() has been called."""
+        return self._closed is not None
+
+    def send(self, item: Any) -> None:
+        """Enqueue *item*, waking the oldest receiver if one is blocked."""
+        if self._closed is not None:
+            return  # messages to a dead endpoint vanish silently
+        while self._waiters:
+            fut = self._waiters.popleft()
+            if fut.resolve_if_pending(item):
+                return
+        self._items.append(item)
+
+    def recv(self) -> Future:
+        """Future resolving with the next item (FIFO)."""
+        fut = Future(f"{self.name}.recv")
+        if self._items:
+            fut.resolve(self._items.popleft())
+        elif self._closed is not None:
+            fut.fail(self._closed)
+        else:
+            self._waiters.append(fut)
+        return fut
+
+    def try_recv(self) -> tuple[bool, Any]:
+        """Non-blocking receive: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+    def peek_all(self) -> list[Any]:
+        """Snapshot of queued items without consuming them."""
+        return list(self._items)
+
+    def close(self, exc: BaseException | None = None) -> None:
+        """Close the channel; blocked and future receivers get *exc*."""
+        from repro.errors import Interrupted
+
+        self._closed = exc or Interrupted(f"channel {self.name} closed")
+        waiters, self._waiters = self._waiters, deque()
+        for fut in waiters:
+            fut.fail_if_pending(self._closed)

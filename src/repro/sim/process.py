@@ -1,0 +1,110 @@
+"""Generator-based cooperative processes.
+
+A process wraps a generator that yields :class:`Future` objects. When
+the yielded future settles, the scheduler resumes the generator with
+the future's value (``gen.send``) or raises the future's exception
+inside it (``gen.throw``). The process is itself a :class:`Future`:
+it resolves with the generator's return value, or fails with whatever
+exception escaped the generator — so processes can ``yield`` on each
+other to join.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.errors import Interrupted, SimulationError
+from repro.sim.future import Future
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.scheduler import Simulator
+
+
+class Process(Future):
+    """A running generator inside a :class:`Simulator`.
+
+    Created via :meth:`Simulator.spawn`; not meant to be instantiated
+    directly.
+    """
+
+    __slots__ = ("sim", "_gen", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator[Future, Any, Any], name: str):
+        super().__init__(name)
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"spawn() needs a generator, got {type(gen).__name__}; "
+                "did you forget to call the generator function?"
+            )
+        self.sim = sim
+        self._gen = gen
+        self._waiting_on: Future | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _step_initial(self) -> None:
+        self._step(None, None)
+
+    def _step(self, value: Any, exc: BaseException | None) -> None:
+        if self.resolved:
+            return
+        self._waiting_on = None
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self.resolve(stop.value)
+            return
+        except Interrupted as interrupted:
+            self.fail(interrupted)
+            return
+        except Exception as error:
+            self.fail(error)
+            return
+        if not isinstance(target, Future):
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}; "
+                    "processes must yield Future objects"
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_future_settled)
+
+    def _on_future_settled(self, fut: Future) -> None:
+        if self.resolved or self._waiting_on is not fut:
+            return
+        # Resume on a fresh event so callback chains cannot reorder the
+        # process ahead of same-instant events scheduled earlier.
+        if fut.exception is not None:
+            error = fut.exception
+            self.sim.call_soon(lambda: self._step(None, error))
+        else:
+            value = fut.value
+            self.sim.call_soon(lambda: self._step(value, None))
+
+    # -- control ----------------------------------------------------------
+
+    def kill(self, reason: str = "killed") -> None:
+        """Terminate the process (models a processor crash).
+
+        The generator is closed so its ``finally`` blocks run, and the
+        process future fails with :class:`Interrupted` for any joiner.
+        """
+        if self.resolved:
+            return
+        self._waiting_on = None
+        gen, self._gen = self._gen, _dead_generator()
+        try:
+            gen.close()
+        except Exception:
+            pass  # a crash does not care about cleanup errors
+        self.fail(Interrupted(reason))
+
+
+def _dead_generator() -> Generator[Future, Any, Any]:
+    return
+    yield  # pragma: no cover

@@ -1,0 +1,45 @@
+"""Machine-local resources: the CPU.
+
+Server machines in the paper are single-CPU Sun3/60s, so CPU-bound
+request processing serializes no matter how many server threads are
+listening. :class:`Cpu` models that: processing steps occupy the CPU
+exclusively (FIFO), while time spent blocked on disk or network does
+not hold the CPU.
+"""
+
+from __future__ import annotations
+
+from repro.sim.primitives import Semaphore
+from repro.sim.scheduler import Simulator
+
+
+class Cpu:
+    """FIFO-serialized processor time for one machine."""
+
+    def __init__(self, sim: Simulator, name: str = "cpu"):
+        self.sim = sim
+        self.name = name
+        self._mutex = Semaphore(1, f"{name}.mutex")
+        self.busy_ms: float = 0.0
+
+    def use(self, duration: float):
+        """Occupy the CPU for *duration* ms (``yield from cpu.use(3.0)``)."""
+        if duration <= 0.0:
+            return
+        yield self._mutex.acquire()
+        try:
+            yield self.sim.sleep(duration)
+            self.busy_ms += duration
+        finally:
+            self._mutex.release()
+
+    @property
+    def idle(self) -> bool:
+        """True when no process currently holds the CPU."""
+        return self._mutex.value > 0
+
+    def utilization(self, elapsed_ms: float) -> float:
+        """Fraction of *elapsed_ms* the CPU spent busy."""
+        if elapsed_ms <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_ms / elapsed_ms)

@@ -1,0 +1,176 @@
+"""The simulator event loop.
+
+:class:`Simulator` owns the simulated clock (a float, in milliseconds)
+and a binary heap of scheduled callbacks. Processes
+(:class:`repro.sim.process.Process`) are spawned onto a simulator and
+advance whenever the futures they wait on settle.
+
+Determinism: events scheduled for the same instant run in scheduling
+order (a monotonically increasing tie-break counter), and all
+randomness flows through :class:`repro.sim.randomness.RngStreams`, so a
+run is a pure function of the seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import SimulationError
+from repro.sim.future import Future
+from repro.sim.process import Process
+from repro.sim.randomness import RngStreams
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("when", "cancelled")
+
+    def __init__(self, when: float):
+        self.when = when
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if already ran)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Discrete-event scheduler with a simulated millisecond clock."""
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self.seed = seed
+        self.rng = RngStreams(seed)
+        self._heap: list[tuple[float, int, Timer, Callable[[], None]]] = []
+        self._sequence = 0
+        self._processes: list[Process] = []
+        self.trace: list[tuple[float, str]] | None = None
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Timer:
+        """Run ``fn()`` after *delay* simulated milliseconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ms in the past")
+        timer = Timer(self.now + delay)
+        heapq.heappush(self._heap, (timer.when, self._sequence, timer, fn))
+        self._sequence += 1
+        return timer
+
+    def call_soon(self, fn: Callable[[], None]) -> Timer:
+        """Run ``fn()`` at the current instant, after pending same-time events."""
+        return self.schedule(0.0, fn)
+
+    def sleep(self, delay: float) -> Future:
+        """A future that resolves after *delay* simulated milliseconds."""
+        fut = Future(f"sleep({delay})")
+        self.schedule(delay, fut.resolve)
+        return fut
+
+    def timeout(self, fut: Future, delay: float, reason: str = "timeout") -> Future:
+        """Wrap *fut* with a deadline.
+
+        The returned future resolves with ``fut``'s value if it settles
+        within *delay* ms, otherwise fails with
+        :class:`repro.errors.TimeoutError`.
+        """
+        from repro.errors import TimeoutError as SimTimeout
+
+        wrapped = Future(f"timeout({fut.name})")
+        timer = self.schedule(
+            delay, lambda: wrapped.fail_if_pending(SimTimeout(reason))
+        )
+
+        def on_done(inner: Future) -> None:
+            timer.cancel()
+            if inner.exception is not None:
+                wrapped.fail_if_pending(inner.exception)
+            else:
+                wrapped.resolve_if_pending(inner.value)
+
+        fut.add_callback(on_done)
+        return wrapped
+
+    # -- processes -------------------------------------------------------
+
+    def spawn(
+        self, gen: Generator[Future, Any, Any], name: str = "process"
+    ) -> Process:
+        """Start a generator as a cooperative process.
+
+        The generator yields :class:`Future` objects; each yield
+        suspends the process until the future settles, at which point
+        the future's value is sent back in (or its exception raised at
+        the yield site). The process object is itself a future that
+        settles with the generator's return value.
+        """
+        process = Process(self, gen, name)
+        self._processes.append(process)
+        self.call_soon(process._step_initial)
+        return process
+
+    # -- running ---------------------------------------------------------
+
+    def run(self, until: float | None = None, max_events: int = 50_000_000) -> float:
+        """Run events until the heap drains or the clock passes *until*.
+
+        Returns the simulated time at which the run stopped.
+        """
+        events = 0
+        while self._heap:
+            when, _, timer, fn = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self.now = when
+            fn()
+            events += 1
+            if events > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events at t={self.now:.3f} ms; "
+                    "likely a livelock in the simulated system"
+                )
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def run_until_complete(self, process: Process, max_events: int = 50_000_000) -> Any:
+        """Run until *process* finishes; return its result (or raise)."""
+        events = 0
+        while not process.resolved:
+            if not self._heap:
+                raise SimulationError(
+                    f"event queue drained but process {process.name!r} "
+                    "never completed (deadlock)"
+                )
+            when, _, timer, fn = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self.now = when
+            fn()
+            events += 1
+            if events > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events waiting on {process.name!r}"
+                )
+        return process.value
+
+    # -- introspection ----------------------------------------------------
+
+    def log(self, message: str) -> None:
+        """Record a trace line if tracing is enabled (``sim.trace = []``)."""
+        if self.trace is not None:
+            self.trace.append((self.now, message))
+
+    def pending_events(self) -> int:
+        """Number of scheduled, uncancelled events."""
+        return sum(1 for _, _, timer, _ in self._heap if not timer.cancelled)
+
+    def alive_processes(self) -> Iterable[Process]:
+        """Processes that have not yet finished."""
+        return [p for p in self._processes if not p.resolved]

@@ -1,0 +1,33 @@
+"""Storage substrates: disks, raw partitions, the Bullet file server,
+and NVRAM.
+
+The paper's directory service (Fig. 3) is built from three directory
+servers, three Bullet file servers, and three disk servers, where each
+directory server uses one Bullet server and one disk server sharing a
+single physical disk. This package provides those pieces:
+
+* :class:`~repro.storage.disk.Disk` — one spindle with seek/rotation/
+  transfer timing and FIFO op serialization; survives machine crashes
+  (it is a separate box), loses data only on an explicit head crash;
+* :class:`~repro.storage.disk.RawPartition` — the fixed-block region
+  holding the directory service's administrative data (commit block +
+  object table);
+* :class:`~repro.storage.bullet.BulletServer` — the immutable-file
+  server (create / read / delete by capability) with contiguous
+  allocation and an in-RAM cache;
+* :class:`~repro.storage.nvram.Nvram` — the 24 KB battery-backed log
+  used by the NVRAM variant of the directory service.
+"""
+
+from repro.storage.bullet import BulletClient, BulletServer
+from repro.storage.disk import Disk, RawPartition
+from repro.storage.nvram import Nvram, NvramRecord
+
+__all__ = [
+    "BulletClient",
+    "BulletServer",
+    "Disk",
+    "Nvram",
+    "NvramRecord",
+    "RawPartition",
+]

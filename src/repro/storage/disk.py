@@ -1,0 +1,187 @@
+"""The simulated spindle and raw partitions.
+
+A :class:`Disk` is a passive box: it belongs to the machine room, not
+to any server process, so a directory-server crash never touches disk
+contents — the restarted server reads its state back, exactly as in
+the paper's recovery protocol. Only an explicit :meth:`Disk.fail`
+("head crash") loses data; after that every access raises
+:class:`~repro.errors.DiskFailure` (this is the case the paper's
+"escape for system administrators" exists for).
+
+The disk serializes operations FIFO (one arm). Three access classes
+are priced by :class:`~repro.sim.latency.DiskLatency`:
+``random`` (seek + rotation), ``sequential`` (Bullet's contiguous
+allocation), and ``cached`` (controller write-behind).
+
+Two facilities share the spindle:
+
+* a **block store** used through :class:`RawPartition` — fixed-size
+  blocks addressed by index (the commit block and object table);
+* an **extent store** used by the Bullet server — whole immutable
+  files addressed by key.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.errors import DiskFailure, StorageError
+from repro.sim.latency import DiskLatency
+from repro.sim.primitives import Semaphore
+from repro.sim.scheduler import Simulator
+
+BLOCK_SIZE = 1024
+
+
+class Disk:
+    """One spindle with FIFO op serialization and crash-proof contents."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        latency: DiskLatency | None = None,
+        blocks: int = 4096,
+    ):
+        self.sim = sim
+        self.name = name
+        self.latency = latency or DiskLatency()
+        self.block_count = blocks
+        self._blocks: dict[int, bytes] = {}
+        self._extents: dict[Hashable, Any] = {}
+        self._arm = Semaphore(1, f"{name}.arm")
+        self.failed = False
+        self.ops = {"random": 0, "sequential": 0, "cached": 0}
+
+    # -- failure ---------------------------------------------------------
+
+    def fail(self) -> None:
+        """Head crash: all data is gone and every future access errors."""
+        self.failed = True
+        self._blocks.clear()
+        self._extents.clear()
+
+    def _check(self) -> None:
+        if self.failed:
+            raise DiskFailure(f"disk {self.name} has failed")
+
+    # -- timing core --------------------------------------------------------
+
+    def _occupy(self, kind: str, size_bytes: int):
+        """Hold the arm for one operation of *kind*; charge its time."""
+        self._check()
+        yield self._arm.acquire()
+        try:
+            self._check()
+            if kind == "random":
+                delay = self.latency.random_ms(size_bytes)
+            elif kind == "sequential":
+                delay = self.latency.sequential_ms(size_bytes)
+            elif kind == "cached":
+                delay = self.latency.cached_ms(size_bytes)
+            else:
+                raise StorageError(f"unknown disk access kind {kind!r}")
+            if delay > 0:
+                yield self.sim.sleep(delay)
+            self.ops[kind] += 1
+        finally:
+            self._arm.release()
+
+    @property
+    def total_ops(self) -> int:
+        """All operations performed, regardless of class."""
+        return sum(self.ops.values())
+
+    # -- block store -----------------------------------------------------------
+
+    def write_block(self, index: int, data: bytes, kind: str = "random"):
+        """Write one block synchronously (``yield from``)."""
+        if not 0 <= index < self.block_count:
+            raise StorageError(f"block {index} out of range on {self.name}")
+        if len(data) > BLOCK_SIZE:
+            raise StorageError(f"block write of {len(data)} bytes exceeds block size")
+        yield from self._occupy(kind, max(len(data), BLOCK_SIZE))
+        self._blocks[index] = bytes(data)
+
+    def read_block(self, index: int, kind: str = "random"):
+        """Read one block synchronously; missing blocks read as empty."""
+        if not 0 <= index < self.block_count:
+            raise StorageError(f"block {index} out of range on {self.name}")
+        yield from self._occupy(kind, BLOCK_SIZE)
+        return self._blocks.get(index, b"")
+
+    def peek_block(self, index: int) -> bytes:
+        """Zero-time inspection for tests and invariant checks."""
+        self._check()
+        return self._blocks.get(index, b"")
+
+    # -- extent store ------------------------------------------------------------
+
+    def write_extent(self, key: Hashable, data: Any, size_bytes: int, kind: str = "sequential"):
+        """Store a whole immutable extent under *key*."""
+        yield from self._occupy(kind, size_bytes)
+        self._extents[key] = data
+
+    def read_extent(self, key: Hashable, size_bytes: int, kind: str = "random"):
+        """Fetch an extent; raises StorageError if absent."""
+        yield from self._occupy(kind, size_bytes)
+        if key not in self._extents:
+            raise StorageError(f"no extent {key!r} on disk {self.name}")
+        return self._extents[key]
+
+    def delete_extent(self, key: Hashable, kind: str = "cached"):
+        """Drop an extent (free-list update; cheap by default)."""
+        yield from self._occupy(kind, BLOCK_SIZE)
+        self._extents.pop(key, None)
+
+    def has_extent(self, key: Hashable) -> bool:
+        """Zero-time existence check (used at server restart)."""
+        self._check()
+        return key in self._extents
+
+    def extent_keys(self) -> list:
+        """Zero-time scan of extent keys (server restart recovery)."""
+        self._check()
+        return list(self._extents)
+
+    def peek_extent(self, key: Hashable) -> Any:
+        """Zero-time extent inspection for tests."""
+        self._check()
+        return self._extents.get(key)
+
+
+class RawPartition:
+    """A window of consecutive blocks on a disk.
+
+    Block 0 of the partition is the directory service's commit block;
+    blocks 1..n-1 hold the object table (Fig. 4 of the paper).
+    """
+
+    def __init__(self, disk: Disk, start: int, length: int, name: str = ""):
+        if start < 0 or start + length > disk.block_count:
+            raise StorageError(
+                f"partition [{start}, {start + length}) exceeds disk "
+                f"{disk.name} ({disk.block_count} blocks)"
+            )
+        self.disk = disk
+        self.start = start
+        self.length = length
+        self.name = name or f"{disk.name}[{start}:{start + length}]"
+
+    def _translate(self, index: int) -> int:
+        if not 0 <= index < self.length:
+            raise StorageError(f"block {index} out of partition {self.name}")
+        return self.start + index
+
+    def write_block(self, index: int, data: bytes, kind: str = "random"):
+        """Synchronous write of partition-relative block *index*."""
+        yield from self.disk.write_block(self._translate(index), data, kind)
+
+    def read_block(self, index: int, kind: str = "random"):
+        """Synchronous read of partition-relative block *index*."""
+        data = yield from self.disk.read_block(self._translate(index), kind)
+        return data
+
+    def peek_block(self, index: int) -> bytes:
+        """Zero-time inspection."""
+        return self.disk.peek_block(self._translate(index))

@@ -1,0 +1,155 @@
+"""The 24 KB NVRAM board.
+
+The paper's fastest directory-service variant logs directory
+modifications to NonVolatile RAM instead of writing them to disk in
+the critical path; a background thread applies the log to disk when
+the server is idle or the board fills up. NVRAM is a *reliable*
+medium: like the disk, the board belongs to the machine, not the
+server process, so its contents survive server crashes.
+
+The log also enables the /tmp optimization the paper highlights: if an
+append record for a name is still in the log when the matching delete
+arrives, both records annihilate without any disk I/O ever happening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import NvramFull
+from repro.sim.scheduler import Simulator
+
+#: Size of the board in the paper's implementation.
+PAPER_NVRAM_BYTES = 24 * 1024
+
+#: Log-record header overhead (sequence number, op code, lengths).
+RECORD_OVERHEAD = 32
+
+
+@dataclass
+class NvramRecord:
+    """One logged modification."""
+
+    key: Any  # e.g. (directory object number, row name)
+    op: str  # "append", "delete", ...
+    payload: Any
+    size: int
+    seqno: int = 0
+
+
+@dataclass
+class NvramStats:
+    """Counters for the NVRAM-effectiveness ablation (bench E8)."""
+
+    appends: int = 0
+    annihilations: int = 0  # records removed without reaching disk
+    flushes: int = 0
+    flushed_records: int = 0
+
+
+class Nvram:
+    """A bounded, battery-backed log of modification records."""
+
+    def __init__(self, sim: Simulator, capacity_bytes: int = PAPER_NVRAM_BYTES,
+                 write_ms: float = 3.0, name: str = "nvram"):
+        self.sim = sim
+        self.capacity_bytes = capacity_bytes
+        self.write_ms = write_ms
+        self.name = name
+        self._records: list[NvramRecord] = []
+        self._used = 0
+        self._next_seqno = 1
+        self.stats = NvramStats()
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently occupied by log records."""
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining capacity."""
+        return self.capacity_bytes - self._used
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def record_size(self, record: NvramRecord) -> int:
+        return record.size + RECORD_OVERHEAD
+
+    # -- logging -------------------------------------------------------------
+
+    def append(self, record: NvramRecord, charge_time: bool = True):
+        """Log one record (``yield from``); raises NvramFull when the
+        board cannot hold it — the caller must flush first.
+
+        Pass ``charge_time=False`` when the caller accounts for the
+        write time itself (e.g. as CPU-held programmed I/O).
+        """
+        needed = self.record_size(record)
+        if needed > self.free_bytes:
+            raise NvramFull(
+                f"{self.name}: record of {needed} B does not fit "
+                f"({self.free_bytes} B free)"
+            )
+        if charge_time and self.write_ms > 0:
+            yield self.sim.sleep(self.write_ms)
+        record.seqno = self._next_seqno
+        self._next_seqno += 1
+        self._records.append(record)
+        self._used += needed
+        self.stats.appends += 1
+
+    def would_fit(self, payload_size: int) -> bool:
+        """Whether a record with *payload_size* bytes of payload fits."""
+        return payload_size + RECORD_OVERHEAD <= self.free_bytes
+
+    # -- annihilation -----------------------------------------------------------
+
+    def annihilate(self, predicate: Callable[[NvramRecord], bool]) -> list[NvramRecord]:
+        """Remove every logged record matching *predicate*.
+
+        Returns the removed records. This is the /tmp optimization:
+        a delete cancelling a still-logged append means neither ever
+        costs a disk operation.
+        """
+        removed = [r for r in self._records if predicate(r)]
+        if removed:
+            self._records = [r for r in self._records if not predicate(r)]
+            self._used -= sum(self.record_size(r) for r in removed)
+            self.stats.annihilations += len(removed)
+        return removed
+
+    def pending_for_key(self, key: Any) -> list[NvramRecord]:
+        """Records still logged for *key*, oldest first."""
+        return [r for r in self._records if r.key == key]
+
+    # -- flushing ----------------------------------------------------------------
+
+    def remove_flushed(self, predicate: Callable[[NvramRecord], bool]) -> list[NvramRecord]:
+        """Remove records whose effects reached the disk (counted as
+        flushes, not annihilations)."""
+        removed = [r for r in self._records if predicate(r)]
+        if removed:
+            self._records = [r for r in self._records if not predicate(r)]
+            self._used -= sum(self.record_size(r) for r in removed)
+            self.stats.flushes += 1
+            self.stats.flushed_records += len(removed)
+        return removed
+
+    def drain(self) -> list[NvramRecord]:
+        """Take every record out of the log (the flusher applies them
+        to disk and the board is empty again)."""
+        records, self._records = self._records, []
+        self._used = 0
+        if records:
+            self.stats.flushes += 1
+            self.stats.flushed_records += len(records)
+        return records
+
+    def snapshot(self) -> list[NvramRecord]:
+        """Non-destructive copy of the log (crash recovery replays it)."""
+        return list(self._records)

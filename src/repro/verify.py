@@ -1,0 +1,113 @@
+"""Consistency checking: histories and session guarantees.
+
+The paper requires one-copy serializability for individual directory
+operations (section 2). Full linearizability checking is overkill for
+a test suite, but two strong, cheap invariants catch real protocol
+bugs:
+
+* **replica equality** — after quiescence, every operational replica's
+  state fingerprint matches (the cluster classes expose this);
+* **session guarantees per key** — when each client works on its own
+  names (the shape our concurrency tests use), every read a client
+  performs must reflect exactly that client's own preceding writes:
+  read-your-writes and monotonic reads combined. Any stale or lost
+  update shows up as a violation.
+
+:class:`HistoryRecorder` collects client-side events;
+:func:`check_private_key_history` verifies the invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class HistoryEvent:
+    """One completed client operation."""
+
+    client: str
+    kind: str  # "append", "delete", "lookup"
+    key: Any  # (directory object number, name)
+    value: Any  # capability written, or lookup result
+    start_ms: float
+    end_ms: float
+
+
+@dataclass
+class HistoryRecorder:
+    """Accumulates events from any number of client drivers."""
+
+    events: list[HistoryEvent] = field(default_factory=list)
+
+    def record(self, client, kind, key, value, start_ms, end_ms) -> None:
+        self.events.append(
+            HistoryEvent(client, kind, key, value, start_ms, end_ms)
+        )
+
+    def by_client(self) -> dict[str, list[HistoryEvent]]:
+        out: dict[str, list[HistoryEvent]] = {}
+        for event in self.events:
+            out.setdefault(event.client, []).append(event)
+        for events in out.values():
+            events.sort(key=lambda e: e.start_ms)
+        return out
+
+
+@dataclass
+class Violation:
+    """One broken session guarantee."""
+
+    client: str
+    event: HistoryEvent
+    expected: Any
+    explanation: str
+
+
+def check_private_key_history(history: HistoryRecorder) -> list[Violation]:
+    """Verify read-your-writes on keys private to each client.
+
+    Assumes no two clients touch the same key (the caller arranges
+    that). For each client, a lookup must return the capability of the
+    client's latest preceding append, or None after a delete / before
+    any append.
+    """
+    violations: list[Violation] = []
+    for client, events in history.by_client().items():
+        expected: dict[Any, Any] = {}
+        for event in events:
+            if event.kind == "append":
+                expected[event.key] = event.value
+            elif event.kind == "delete":
+                expected[event.key] = None
+            elif event.kind == "lookup":
+                want = expected.get(event.key)
+                if event.value != want:
+                    violations.append(
+                        Violation(
+                            client,
+                            event,
+                            want,
+                            f"lookup of {event.key} returned {event.value!r}, "
+                            f"but this client's own writes imply {want!r}",
+                        )
+                    )
+    return violations
+
+
+def check_no_lost_updates(history: HistoryRecorder, final_names: set) -> list[str]:
+    """Every name a client appended (and never deleted) must exist in
+    the final listing, and every deleted name must be absent."""
+    problems = []
+    last_write: dict[Any, tuple[str, Any]] = {}
+    for event in sorted(history.events, key=lambda e: e.end_ms):
+        if event.kind in ("append", "delete"):
+            last_write[event.key] = (event.kind, event.value)
+    for key, (kind, _value) in last_write.items():
+        name = key[1] if isinstance(key, tuple) else key
+        if kind == "append" and name not in final_names:
+            problems.append(f"appended name {name!r} missing from final state")
+        if kind == "delete" and name in final_names:
+            problems.append(f"deleted name {name!r} still in final state")
+    return problems

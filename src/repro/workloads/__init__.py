@@ -1,0 +1,34 @@
+"""Workload generators and metrics for the paper's experiments.
+
+The three benchmark workloads of section 4:
+
+* **append-delete** — append a (name, capability) row, delete it
+  (the temporary-file name pattern);
+* **tmp-file** — create a 4-byte file, register its capability, look
+  the name up, read the file back, delete the name (a compiler's
+  temporary between two passes);
+* **lookup** — pure directory lookups (98% of production traffic per
+  the paper's three-week trace).
+
+Closed-loop clients drive these against any of the service
+implementations; :class:`~repro.workloads.metrics.Metrics` collects
+latency and throughput over a measurement window.
+"""
+
+from repro.workloads.clients import ClosedLoopClient
+from repro.workloads.generators import (
+    append_delete_once,
+    lookup_once,
+    mixed_once,
+    tmp_file_once,
+)
+from repro.workloads.metrics import Metrics
+
+__all__ = [
+    "ClosedLoopClient",
+    "Metrics",
+    "append_delete_once",
+    "lookup_once",
+    "mixed_once",
+    "tmp_file_once",
+]

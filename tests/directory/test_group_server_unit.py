@@ -1,0 +1,132 @@
+"""Focused tests of GroupDirectoryServer internals."""
+
+import pytest
+
+from repro.cluster import GroupServiceCluster
+from repro.directory.operations import CreateDir
+from repro.errors import CapabilityError, NoMajority
+
+
+@pytest.fixture
+def cluster():
+    c = GroupServiceCluster(seed=23)
+    c.start()
+    c.wait_operational()
+    return c
+
+
+class TestCheckFieldInjection:
+    def test_initiator_injects_check(self, cluster):
+        server = cluster.servers[0]
+        op = CreateDir()
+        injected = server._inject_check_fields(op)
+        assert injected.check is not None
+        assert op.check is None
+
+    def test_existing_check_untouched(self, cluster):
+        server = cluster.servers[0]
+        op = CreateDir(check=777)
+        assert server._inject_check_fields(op) is op
+
+    def test_different_servers_inject_different_checks(self, cluster):
+        checks = {
+            s._inject_check_fields(CreateDir()).check for s in cluster.servers
+        }
+        assert len(checks) == 3
+
+    def test_injection_is_deterministic_per_seed(self):
+        def first_check(seed):
+            c = GroupServiceCluster(seed=seed, name=f"ck{seed}")
+            c.start()
+            c.wait_operational()
+            return c.servers[0]._inject_check_fields(CreateDir()).check
+
+        assert first_check(3) == first_check(3)
+
+
+class TestApplyResultBookkeeping:
+    def test_results_stored_only_for_own_requests(self, cluster):
+        client = cluster.add_client("c")
+        root = cluster.root_capability
+        client.rpc._kernel.port_cache[cluster.config.port] = [
+            cluster.config.server_addresses[0]
+        ]
+
+        def work():
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "x", (sub,))
+            yield cluster.sim.sleep(500.0)
+
+        cluster.run_process(work())
+        # The initiator popped its results; bystanders never stored any.
+        for server in cluster.servers:
+            assert server._apply_results == {}
+
+    def test_applied_kernel_advances_in_step(self, cluster):
+        client = cluster.add_client("c")
+        root = cluster.root_capability
+
+        def work():
+            for i in range(3):
+                sub = yield from client.create_dir()
+                yield from client.append_row(root, f"n{i}", (sub,))
+            yield cluster.sim.sleep(1_000.0)
+
+        cluster.run_process(work())
+        applied = {s._applied_kernel for s in cluster.servers}
+        assert applied == {5}  # 6 updates, kernel seqnos 0..5
+
+
+class TestCounters:
+    def test_read_write_counters(self, cluster):
+        client = cluster.add_client("c")
+        root = cluster.root_capability
+
+        def work():
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "x", (sub,))
+            for _ in range(3):
+                yield from client.lookup(root, "x")
+
+        cluster.run_process(work())
+        assert sum(s.writes_served for s in cluster.servers) == 2
+        assert sum(s.reads_served for s in cluster.servers) == 3
+
+    def test_refused_counter_under_minority(self, cluster):
+        client = cluster.add_client("c")
+        root = cluster.root_capability
+        cluster.crash_server(0)
+        cluster.crash_server(1)
+        cluster.run(until=cluster.sim.now + 2_000.0)
+        survivor = cluster.servers[2]
+        before = survivor.requests_refused
+
+        def work():
+            try:
+                yield from client.lookup(root, "x")
+            except Exception:
+                pass
+
+        cluster.run_process(work())
+        assert survivor.requests_refused >= before
+
+
+class TestMajorityAccounting:
+    def test_members_present_and_config_vector(self, cluster):
+        server = cluster.servers[0]
+        assert server.members_present() == 3
+        assert server.config_vector() == (True, True, True)
+        cluster.crash_server(2)
+        cluster.run(until=cluster.sim.now + 2_500.0)
+        assert server.members_present() == 2
+        assert server.config_vector() == (True, True, False)
+        assert server.has_majority()
+
+    def test_mourned_set_tracks_config_vector(self, cluster):
+        server = cluster.servers[0]
+        assert server.mourned_set() == set()
+        cluster.crash_server(2)
+        cluster.run(until=cluster.sim.now + 2_500.0)
+        # The view change wrote the new config vector to disk; the
+        # crashed server is now mourned.
+        assert server.mourned_set() == {cluster.config.server_addresses[2]}

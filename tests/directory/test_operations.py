@@ -1,0 +1,87 @@
+"""Unit tests for the wire-level operation dataclasses."""
+
+import random
+
+import pytest
+
+from repro.amoeba import Port, new_check
+from repro.amoeba.capability import owner_capability
+from repro.directory.operations import (
+    OPERATIONS,
+    AppendRow,
+    ChmodRow,
+    CreateDir,
+    DeleteDir,
+    DeleteRow,
+    ListDir,
+    LookupSet,
+    ReplaceSet,
+)
+
+
+def cap(obj=1):
+    return owner_capability(Port.for_service("dir"), obj, new_check(random.Random(0)))
+
+
+class TestReadWriteClassification:
+    def test_reads(self):
+        assert ListDir(cap()).is_read
+        assert LookupSet(((cap(), "x"),)).is_read
+
+    def test_writes(self):
+        assert not CreateDir().is_read
+        assert not DeleteDir(cap()).is_read
+        assert not AppendRow(cap(), "x", ()).is_read
+        assert not ChmodRow(cap(), "x", 1, ()).is_read
+        assert not DeleteRow(cap(), "x").is_read
+        assert not ReplaceSet(()).is_read
+
+    def test_registry_covers_all_eight(self):
+        """Fig. 2 lists exactly eight operations."""
+        assert len(OPERATIONS) == 8
+        assert set(OPERATIONS) == {
+            "create_dir",
+            "delete_dir",
+            "list_dir",
+            "append_row",
+            "chmod_row",
+            "delete_row",
+            "lookup_set",
+            "replace_set",
+        }
+
+
+class TestWireSizes:
+    def test_append_size_scales_with_payload(self):
+        small = AppendRow(cap(), "a", (cap(),))
+        big = AppendRow(cap(), "a" * 100, (cap(), cap(), cap()))
+        assert big.wire_size() > small.wire_size()
+
+    def test_lookup_set_size_scales_with_items(self):
+        one = LookupSet(((cap(), "x"),))
+        many = LookupSet(tuple((cap(), f"x{i}") for i in range(10)))
+        assert many.wire_size() > one.wire_size()
+
+    def test_replace_set_size(self):
+        op = ReplaceSet(((cap(), "name", (cap(), cap())),))
+        assert op.wire_size() > 64
+
+    def test_default_size_reasonable(self):
+        assert 32 <= CreateDir().wire_size() <= 512
+
+
+class TestImmutability:
+    def test_operations_are_frozen(self):
+        op = DeleteRow(cap(), "x")
+        with pytest.raises(Exception):
+            op.name = "y"  # type: ignore[misc]
+
+    def test_create_dir_check_injection_via_replace(self):
+        import dataclasses
+
+        op = CreateDir()
+        assert op.check is None
+        injected = dataclasses.replace(op, check=123, object_number=9)
+        assert injected.check == 123
+        assert injected.object_number == 9
+        assert op.check is None  # original untouched

@@ -1,0 +1,108 @@
+"""Unit tests for fault plans."""
+
+import random
+
+import pytest
+
+from repro.cluster import GroupServiceCluster
+from repro.errors import SimulationError
+from repro.faults import Crash, FaultPlan, Heal, Partition, RandomFaultPlan, Restart
+
+
+class TestFaultPlan:
+    def test_builder_methods_accumulate_events(self):
+        plan = (
+            FaultPlan()
+            .crash(100.0, 2)
+            .restart(200.0, 2)
+            .partition(300.0, [0, 1], [2])
+            .heal(400.0)
+        )
+        assert len(plan.events) == 4
+        assert isinstance(plan.events[0], Crash)
+        assert isinstance(plan.events[1], Restart)
+        assert isinstance(plan.events[2], Partition)
+        assert isinstance(plan.events[3], Heal)
+
+    def test_arm_fires_events_in_order(self):
+        cluster = GroupServiceCluster(seed=1)
+        cluster.start()
+        cluster.wait_operational()
+        base = cluster.sim.now
+        plan = FaultPlan().crash(base + 100.0, 2).restart(base + 3_000.0, 2)
+        plan.arm(cluster)
+        cluster.run(until=base + 200.0)
+        assert plan.fired == 1
+        assert not cluster.servers[2].alive
+        cluster.run(until=base + 20_000.0)
+        assert plan.fired == 2
+        assert cluster.servers[2].operational
+
+    def test_past_events_rejected(self):
+        cluster = GroupServiceCluster(seed=1)
+        cluster.start()
+        cluster.wait_operational()
+        plan = FaultPlan().crash(cluster.sim.now - 1.0, 0)
+        with pytest.raises(SimulationError):
+            plan.arm(cluster)
+
+    def test_log_records_descriptions(self):
+        cluster = GroupServiceCluster(seed=1)
+        cluster.start()
+        cluster.wait_operational()
+        base = cluster.sim.now
+        plan = FaultPlan().partition(base + 50.0, [0, 1], [2]).heal(base + 100.0)
+        plan.arm(cluster)
+        cluster.run(until=base + 200.0)
+        descriptions = [d for _, d in plan.log]
+        assert descriptions == ["partition ((0, 1), (2,))", "heal network"]
+
+
+class TestRandomFaultPlan:
+    def test_same_seed_same_plan(self):
+        def build(seed):
+            plan = RandomFaultPlan(
+                random.Random(seed), 3, (1_000.0, 30_000.0), events=8
+            )
+            return [(e.at_ms, type(e).__name__, getattr(e, "server", None))
+                    for e in plan.events]
+
+        assert build(5) == build(5)
+        assert build(5) != build(6)
+
+    def test_never_exceeds_max_down(self):
+        for seed in range(20):
+            plan = RandomFaultPlan(
+                random.Random(seed), 3, (0.0, 60_000.0), events=12, max_down=1
+            )
+            down = set()
+            for event in sorted(plan.events, key=lambda e: e.at_ms):
+                if isinstance(event, Crash):
+                    down.add(event.server)
+                elif isinstance(event, Restart):
+                    down.discard(event.server)
+                assert len(down) <= 1
+
+    def test_world_repaired_at_end(self):
+        for seed in range(20):
+            plan = RandomFaultPlan(
+                random.Random(seed), 3, (0.0, 40_000.0), events=10
+            )
+            down = set()
+            partitioned = False
+            for event in sorted(plan.events, key=lambda e: e.at_ms):
+                if isinstance(event, Crash):
+                    down.add(event.server)
+                elif isinstance(event, Restart):
+                    down.discard(event.server)
+                elif isinstance(event, Partition):
+                    partitioned = True
+                elif isinstance(event, Heal):
+                    partitioned = False
+            assert down == set()
+            assert not partitioned
+
+    def test_events_respect_window_start(self):
+        plan = RandomFaultPlan(random.Random(1), 3, (5_000.0, 20_000.0))
+        crash_restart = [e for e in plan.events if isinstance(e, (Crash, Partition))]
+        assert all(e.at_ms >= 5_000.0 for e in crash_restart)

@@ -1,0 +1,193 @@
+"""Unit tests for group-kernel internals: safe-point math, dedup,
+send watchdog, and required-ack degradation."""
+
+import pytest
+
+from repro.group import GroupMember, GroupTimings
+from repro.group.kernel import GroupKernel
+
+from tests.group.test_basic import build_group
+from tests.helpers import TestBed
+
+
+def lone_kernel(resilience=2):
+    bed = TestBed(["solo"])
+    member = GroupMember(bed["solo"].transport, "g")
+    member.create(resilience)
+    return bed, member.kernel
+
+
+class TestSafePoint:
+    def test_full_acks_commit_everything(self):
+        bed, members = build_group(["a", "b", "c"], resilience=2)
+        kernel = members["a"].kernel  # sequencer
+        kernel.history.update({0: None, 1: None, 2: None})  # placeholder
+        kernel.received = 2
+        kernel.ack_progress = {"b": 2, "c": 2}
+        assert kernel._safe_point() == 2
+
+    def test_slowest_required_ack_bounds_commit(self):
+        bed, members = build_group(["a", "b", "c"], resilience=2)
+        kernel = members["a"].kernel
+        kernel.received = 5
+        kernel.ack_progress = {"b": 5, "c": 1}
+        # r=2 needs BOTH others: the laggard bounds the safe point.
+        assert kernel._safe_point() == 1
+
+    def test_r1_needs_only_the_fastest_other(self):
+        bed, members = build_group(["a", "b", "c"], resilience=1)
+        kernel = members["a"].kernel
+        kernel.received = 5
+        kernel.ack_progress = {"b": 5, "c": 1}
+        assert kernel._safe_point() == 5
+
+    def test_required_acks_degrade_with_small_views(self):
+        bed, kernel = lone_kernel(resilience=2)
+        # A singleton view cannot wait for anyone.
+        assert kernel._required_acks() == 0
+
+    def test_safe_point_never_exceeds_received(self):
+        bed, members = build_group(["a", "b", "c"], resilience=1)
+        kernel = members["a"].kernel
+        kernel.received = 3
+        kernel.ack_progress = {"b": 9, "c": 9}  # acks ahead of us?!
+        assert kernel._safe_point() == 3
+
+
+class TestSequencerDedup:
+    def test_duplicate_request_does_not_reassign(self):
+        bed, members = build_group(["a", "b", "c"])
+        kernel = members["a"].kernel
+
+        def run():
+            yield from members["b"].send_to_group("once")
+            yield bed.sim.sleep(5.0)
+            assigned_before = kernel.next_assign
+            # Replay the same msg_id as if b's watchdog re-sent it.
+            record = kernel.history[0]
+            kernel._sequence(record.msg_id, record.sender, record.payload, 10)
+            return assigned_before
+
+        assigned_before = bed.run_until(bed.sim.spawn(run()))
+        assert kernel.next_assign == assigned_before
+        assert len(kernel.history) == 1
+
+    def test_duplicate_triggers_rebroadcast(self):
+        bed, members = build_group(["a", "b", "c"])
+        kernel = members["a"].kernel
+
+        def run():
+            yield from members["b"].send_to_group("once")
+            yield bed.sim.sleep(5.0)
+            before = bed.network.stats.frames_by_kind.get("grp.g.bc", 0)
+            record = kernel.history[0]
+            kernel._sequence(record.msg_id, record.sender, record.payload, 10)
+            yield bed.sim.sleep(5.0)
+            return bed.network.stats.frames_by_kind.get("grp.g.bc", 0) - before
+
+        assert bed.run_until(bed.sim.spawn(run())) == 1
+
+
+class TestSendWatchdog:
+    def test_lost_request_is_retransmitted(self):
+        """Drop the first req packet; the watchdog re-sends and the
+        message still commits."""
+        timings = GroupTimings(send_retry_ms=30.0)
+        bed, members = build_group(["a", "b", "c"], timings=timings)
+        kernel_b = members["b"].kernel
+        # Sabotage exactly one request by monkeypatching _send once.
+        original = kernel_b._send
+        dropped = {"done": False}
+
+        def lossy(dst, suffix, payload, size=64):
+            if suffix == "req" and not dropped["done"]:
+                dropped["done"] = True
+                return  # swallowed by the network gremlin
+            original(dst, suffix, payload, size)
+
+        kernel_b._send = lossy
+
+        def run():
+            seqno = yield from members["b"].send_to_group("persistent")
+            return seqno
+
+        assert bed.run_until(bed.sim.spawn(run())) == 0
+        assert dropped["done"]
+
+    def test_send_to_idle_kernel_fails_immediately(self):
+        bed = TestBed(["x"])
+        member = GroupMember(bed["x"].transport, "g")
+        fut = member.kernel.submit("nope", 10)
+        assert fut.resolved
+        from repro.errors import GroupFailure
+
+        assert isinstance(fut.exception, GroupFailure)
+
+
+class TestHistoryGc:
+    def test_history_stays_bounded_under_sustained_traffic(self):
+        from repro.group.kernel import HISTORY_MARGIN
+
+        bed, members = build_group(["a", "b", "c"])
+        n_messages = 3 * HISTORY_MARGIN
+
+        def sender():
+            for i in range(n_messages):
+                yield from members["a"].send_to_group(i, size=16)
+
+        def receiver(addr):
+            for _ in range(n_messages):
+                yield from members[addr].receive()
+
+        for addr in ("a", "b", "c"):
+            bed.sim.spawn(receiver(addr), f"r-{addr}")
+        bed.sim.spawn(sender(), "s")
+        bed.run(until=bed.sim.now + 120_000.0)
+        for addr in ("a", "b", "c"):
+            kernel = members[addr].kernel
+            assert kernel.taken == n_messages - 1
+            # Ticker pruning keeps the buffer near the margin, far
+            # below the total message count.
+            assert len(kernel.history) <= 2 * HISTORY_MARGIN + 8
+
+    def test_pruning_never_drops_undelivered_messages(self):
+        bed, members = build_group(["a", "b", "c"])
+
+        def sender():
+            for i in range(100):
+                yield from members["a"].send_to_group(i, size=16)
+
+        # b consumes nothing for a long while; its history must keep
+        # everything it has not taken.
+        bed.sim.spawn(sender(), "s")
+        bed.run(until=bed.sim.now + 30_000.0)
+        kernel_b = members["b"].kernel
+        assert kernel_b.taken == -1
+        assert set(range(100)) <= set(kernel_b.history)
+
+        def drain():
+            got = []
+            for _ in range(100):
+                record = yield from members["b"].receive()
+                got.append(record.payload)
+            return got
+
+        assert bed.run_until(bed.sim.spawn(drain())) == list(range(100))
+
+
+class TestInfo:
+    def test_info_snapshot_matches_kernel(self):
+        bed, members = build_group(["a", "b", "c"])
+
+        def run():
+            yield from members["a"].send_to_group("m")
+            yield bed.sim.sleep(5.0)
+
+        bed.run_until(bed.sim.spawn(run()))
+        info = members["b"].info()
+        kernel = members["b"].kernel
+        assert info.received == kernel.received
+        assert info.committed == kernel.committed
+        assert info.taken == kernel.taken
+        assert info.size == 3
+        assert info.buffered == kernel.received - kernel.taken

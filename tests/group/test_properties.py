@@ -1,0 +1,176 @@
+"""Property-based tests of the group protocol's core invariants.
+
+These drive randomized scenarios (seeded through hypothesis) and check
+the guarantees the directory service is built on:
+
+* **total order** — all members deliver the same message sequence,
+  under concurrent senders, packet loss, and crash/reset cycles;
+* **no loss of committed messages** — once SendToGroup returns, every
+  surviving member eventually delivers the message;
+* **per-sender FIFO** inside the total order.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GroupFailure, GroupResetFailed  # noqa: F401 (both used)
+from repro.group import GroupMember, GroupTimings
+from repro.net import Network
+from repro.rpc import Transport
+from repro.sim import Simulator
+
+ADDRESSES = ("a", "b", "c")
+
+
+def build(seed, loss=0.0, resilience=2):
+    sim = Simulator(seed=seed)
+    network = Network(sim, loss_probability=loss)
+    transports = {x: Transport(sim, network.attach(x)) for x in ADDRESSES}
+    members = {x: GroupMember(t, "g") for x, t in transports.items()}
+    members["a"].create(resilience)
+    joined = ["a"]
+
+    def join(addr):
+        while True:
+            try:
+                yield from members[addr].join()
+                joined.append(addr)
+                return
+            except GroupFailure:
+                # Join broadcasts can be lost — and under heavy loss
+                # the EXISTING group may have failure-detected itself
+                # before we got in. A real member's app thread would
+                # reset it; play that caretaker role here.
+                for other in list(joined):
+                    if members[other].kernel.state == "failed":
+                        try:
+                            yield from members[other].reset()
+                        except GroupResetFailed:
+                            pass
+                continue
+
+    for addr in ADDRESSES[1:]:
+        sim.run_until_complete(sim.spawn(join(addr)), max_events=3_000_000)
+    return sim, network, transports, members
+
+
+def common_prefix_equal(sequences):
+    shortest = min(len(s) for s in sequences)
+    head = [s[:shortest] for s in sequences]
+    return all(h == head[0] for h in head), shortest
+
+
+class TestTotalOrderProperties:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_messages=st.integers(min_value=1, max_value=8),
+        senders=st.lists(st.sampled_from(ADDRESSES), min_size=1, max_size=3,
+                         unique=True),
+    )
+    def test_all_members_agree_on_order(self, seed, n_messages, senders):
+        sim, _, _, members = build(seed)
+        delivered = {x: [] for x in ADDRESSES}
+
+        def sender(addr):
+            for i in range(n_messages):
+                yield from members[addr].send_to_group((addr, i))
+
+        def receiver(addr):
+            expected = n_messages * len(senders)
+            while len(delivered[addr]) < expected:
+                record = yield from members[addr].receive()
+                delivered[addr].append(record.payload)
+
+        for addr in ADDRESSES:
+            sim.spawn(receiver(addr))
+        for addr in senders:
+            sim.spawn(sender(addr))
+        sim.run(until=60_000.0)
+        sequences = [delivered[x] for x in ADDRESSES]
+        assert all(len(s) == n_messages * len(senders) for s in sequences)
+        assert sequences[0] == sequences[1] == sequences[2]
+        # Per-sender FIFO.
+        for addr in senders:
+            mine = [p for p in sequences[0] if p[0] == addr]
+            assert mine == [(addr, i) for i in range(n_messages)]
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        loss=st.sampled_from([0.02, 0.08, 0.15]),
+    )
+    def test_order_agrees_under_packet_loss(self, seed, loss):
+        sim, _, _, members = build(seed, loss=loss)
+        delivered = {x: [] for x in ADDRESSES}
+
+        def sender(addr, count):
+            for i in range(count):
+                try:
+                    yield from members[addr].send_to_group((addr, i))
+                except GroupFailure:
+                    return
+
+        def receiver(addr):
+            while True:
+                try:
+                    record = yield from members[addr].receive()
+                except GroupFailure:
+                    return
+                delivered[addr].append(record.payload)
+
+        for addr in ADDRESSES:
+            sim.spawn(receiver(addr))
+        sim.spawn(sender("a", 6))
+        sim.spawn(sender("b", 6))
+        sim.run(until=30_000.0)
+        equal, shortest = common_prefix_equal(list(delivered.values()))
+        # Safety always holds: members never disagree on the order.
+        assert equal
+        # Liveness is only guaranteed at modest loss; at 15% the
+        # heartbeat failure detector may (correctly, per its spec)
+        # declare the group failed before anything commits, and these
+        # receivers do not run the application-level reset loop.
+        if loss <= 0.05:
+            assert shortest >= 1
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        crash_target=st.sampled_from(ADDRESSES),
+    )
+    def test_committed_messages_survive_any_single_crash(self, seed, crash_target):
+        """r = 2: whoever crashes, messages whose send completed are
+        delivered by both survivors after the reset."""
+        sim, _, transports, members = build(seed, resilience=2)
+        survivors = [x for x in ADDRESSES if x != crash_target]
+        sent = []
+        outcome = {x: [] for x in survivors}
+
+        def driver():
+            for i in range(3):
+                seqno = yield from members["a" if crash_target != "a" else "b"]\
+                    .send_to_group(f"m{i}")
+                sent.append(seqno)
+            members[crash_target].crash()
+            transports[crash_target].shutdown()
+            yield sim.sleep(400.0)  # failure detection
+            # One survivor rebuilds; the other adopts.
+            try:
+                yield from members[survivors[0]].reset()
+            except GroupResetFailed:
+                pass
+            for addr in survivors:
+                while len(outcome[addr]) < len(sent):
+                    try:
+                        record = yield from members[addr].receive()
+                    except GroupFailure:
+                        yield from members[addr].reset()
+                        continue
+                    outcome[addr].append(record.payload)
+
+        process = sim.spawn(driver())
+        sim.run(until=60_000.0)
+        assert process.resolved and process.exception is None
+        expected = [f"m{i}" for i in range(3)]
+        for addr in survivors:
+            assert outcome[addr] == expected

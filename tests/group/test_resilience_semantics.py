@@ -1,0 +1,109 @@
+"""What the resilience degree actually buys (and costs).
+
+r is the paper's fault-tolerance knob: a SendToGroup returns only when
+the message survives r crashes. These tests pin the semantic
+difference between degrees, not just the packet counts.
+"""
+
+import pytest
+
+from repro.errors import GroupFailure
+from repro.group import GroupTimings
+
+from tests.group.test_basic import build_group
+from tests.group.test_failures import crash_machine
+
+
+class TestResilienceSemantics:
+    def test_r1_send_completes_with_one_member_silently_dead(self):
+        """With r = 1 a sender needs only ONE other member to hold the
+        message, so a send right after an undetected crash still
+        completes; with r = 2 it cannot until the failure is handled."""
+        bed, members = build_group(["a", "b", "c"], resilience=1)
+        crash_machine(bed, members, "c")  # not yet detected
+
+        def run():
+            seqno = yield from members["b"].send_to_group("fast")
+            return seqno
+
+        process = bed.sim.spawn(run())
+        bed.run(until=bed.sim.now + 80.0)  # well before detection fires
+        assert process.resolved and process.value == 0
+
+    def test_r2_send_blocks_until_failure_handled(self):
+        bed, members = build_group(["a", "b", "c"], resilience=2)
+        crash_machine(bed, members, "c")
+
+        def run():
+            try:
+                yield from members["b"].send_to_group("stuck")
+                return "sent"
+            except GroupFailure:
+                return "failed"
+
+        process = bed.sim.spawn(run())
+        bed.run(until=bed.sim.now + 80.0)
+        assert not process.resolved  # cannot commit: c never acks
+        bed.run(until=bed.sim.now + 2_000.0)
+        # Eventually the failure detector fires and the send errors
+        # out (the app would then reset and retry).
+        assert process.resolved and process.value == "failed"
+
+    def test_r0_message_lost_with_crashed_sequencer(self):
+        """r = 0 delivers immediately but guarantees nothing: a message
+        the sequencer delivered just before dying may never reach the
+        others. (This is why the directory service pays for r = 2.)"""
+        bed, members = build_group(["a", "b", "c"], resilience=0)
+        kernel_a = members["a"].kernel
+
+        def run():
+            # Send from the sequencer itself and kill it before the
+            # multicast leaves (drop its outgoing frames).
+            bed.network.partitions.split([["a"]])
+            yield from members["a"].send_to_group("doomed")
+            # a delivered it locally (r=0!)...
+            record = members["a"].try_receive()
+            assert record is not None and record.payload == "doomed"
+            crash_machine(bed, members, "a")
+            yield bed.sim.sleep(500.0)
+            return [members[x].try_receive() for x in ("b", "c")]
+
+        results = bed.run_until(bed.sim.spawn(run()))
+        assert results == [None, None]  # b and c never saw it
+
+    def test_r2_no_such_loss_window(self):
+        """The same scenario with r = 2: the send cannot complete while
+        the multicast is cut off, so no client is ever told a lost
+        message succeeded."""
+        bed, members = build_group(["a", "b", "c"], resilience=2)
+
+        def run():
+            bed.network.partitions.split([["a"]])
+            try:
+                yield from members["a"].send_to_group("never-acked")
+                return "sent"
+            except GroupFailure:
+                return "failed"
+
+        assert bed.run_until(bed.sim.spawn(run())) == "failed"
+        assert members["b"].try_receive() is None
+
+
+class TestTimingKnobs:
+    def test_slower_heartbeats_slow_detection(self):
+        def detection_time(interval, timeout):
+            timings = GroupTimings(
+                heartbeat_interval_ms=interval, heartbeat_timeout_ms=timeout
+            )
+            bed, members = build_group(["a", "b", "c"], timings=timings)
+            start = bed.sim.now
+            crash_machine(bed, members, "a")  # the sequencer
+            while members["b"].info().state != "failed":
+                bed.run(until=bed.sim.now + 10.0)
+                if bed.sim.now - start > 60_000.0:
+                    raise AssertionError("never detected")
+            return bed.sim.now - start
+
+        fast = detection_time(10.0, 50.0)
+        slow = detection_time(100.0, 500.0)
+        assert fast < slow

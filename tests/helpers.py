@@ -1,0 +1,48 @@
+"""Shared test scaffolding: a small simulated machine room."""
+
+from __future__ import annotations
+
+from repro.net import Network
+from repro.rpc import Transport
+from repro.sim import LatencyModel, Simulator
+
+
+class Machine:
+    """A simulated host: NIC + transport (+ CPU via the transport)."""
+
+    def __init__(self, network: Network, address):
+        self.address = address
+        self.nic = network.attach(address)
+        self.transport = Transport(network.sim, self.nic)
+
+    @property
+    def cpu(self):
+        return self.transport.cpu
+
+    def crash(self):
+        self.transport.shutdown()
+
+    def restart(self):
+        self.transport.restart()
+
+
+class TestBed:
+    """Simulator + network + a set of machines, built in one call."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(self, addresses, seed=0, latency=None, loss=0.0):
+        self.sim = Simulator(seed=seed)
+        self.network = Network(
+            self.sim, latency or LatencyModel.paper_testbed(), loss_probability=loss
+        )
+        self.machines = {a: Machine(self.network, a) for a in addresses}
+
+    def __getitem__(self, address) -> Machine:
+        return self.machines[address]
+
+    def run(self, until=None):
+        return self.sim.run(until=until)
+
+    def run_until(self, process):
+        return self.sim.run_until_complete(process)

@@ -1,0 +1,79 @@
+"""Section 3.1's escape hatch for administrators.
+
+"There is an escape for system administrators in case two servers lose
+their data forever due to, for example, a head crash." The override
+lets one surviving replica serve without a majority — a deliberate,
+dangerous, operator-only action.
+"""
+
+import pytest
+
+from repro.cluster import GroupServiceCluster
+from repro.errors import ReproError
+
+
+def double_head_crash_scenario(seed=101):
+    """Two sites lose machine AND disk for good; one survives."""
+    cluster = GroupServiceCluster(seed=seed)
+    cluster.start()
+    cluster.wait_operational()
+    client = cluster.add_client("c")
+    root = cluster.root_capability
+
+    def seed_data():
+        sub = yield from client.create_dir()
+        yield from client.append_row(root, "precious", (sub,))
+
+    cluster.run_process(seed_data())
+    cluster.run(until=cluster.sim.now + 1_500.0)  # replica 2 fully applied
+    for index in (0, 1):
+        cluster.crash_server(index)
+        cluster.sites[index].crash_bullet_server()
+        cluster.sites[index].disk.fail()
+    cluster.run(until=cluster.sim.now + 3_000.0)
+    return cluster, client, root
+
+
+class TestAdministrativeOverride:
+    def test_without_override_the_survivor_refuses(self):
+        cluster, client, root = double_head_crash_scenario()
+
+        def read():
+            try:
+                yield from client.lookup(root, "precious")
+            except ReproError as exc:
+                return type(exc).__name__
+            return "served"
+
+        assert cluster.run_process(read()) != "served"
+
+    def test_override_brings_the_survivor_back(self):
+        cluster, client, root = double_head_crash_scenario()
+        survivor = cluster.servers[2]
+        survivor.administrative_override()
+        # Recovery proceeds solo (singleton group, own disk as donor).
+        deadline = cluster.sim.now + 60_000.0
+        while not survivor.operational and cluster.sim.now < deadline:
+            cluster.run(until=cluster.sim.now + 100.0)
+        assert survivor.operational
+        assert survivor.has_majority()  # the override waives the rule
+
+        def work():
+            found = yield from client.lookup(root, "precious")
+            assert found is not None
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "post-disaster", (sub,))
+            rows = yield from client.list_dir(root)
+            return sorted(row.name for row in rows)
+
+        assert cluster.run_process(work()) == ["post-disaster", "precious"]
+
+    def test_override_is_per_server_and_off_by_default(self):
+        cluster = GroupServiceCluster(seed=103)
+        cluster.start()
+        cluster.wait_operational()
+        for server in cluster.servers:
+            assert not server._admin_override
+        cluster.servers[0].administrative_override()
+        assert cluster.servers[0]._admin_override
+        assert not cluster.servers[1]._admin_override

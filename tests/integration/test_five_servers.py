@@ -1,0 +1,125 @@
+"""The paper's claim that the protocol generalizes beyond three
+replicas: "though four or more replicas are also possible, without
+changing the protocol" (section 3).
+
+A five-server deployment must behave identically: majority = 3,
+SendToGroup still costs one multicast regardless of group size, and
+the service survives two simultaneous crashes (with r raised to 4,
+any message that completed is at every member).
+"""
+
+import pytest
+
+from repro.cluster import GroupServiceCluster
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def cluster():
+    c = GroupServiceCluster(n_servers=5, seed=31, resilience=4)
+    c.start()
+    c.wait_operational()
+    return c
+
+
+class TestFiveServers:
+    def test_boots_and_serves(self, cluster):
+        assert cluster.config.majority == 3
+        client = cluster.add_client("c1")
+        root = cluster.root_capability
+
+        def work():
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "x", (sub,))
+            found = yield from client.lookup(root, "x")
+            return found is not None
+
+        assert cluster.run_process(work()) is True
+        assert cluster.replicas_consistent()
+
+    def test_survives_two_crashes(self, cluster):
+        client = cluster.add_client("c1")
+        root = cluster.root_capability
+
+        def before():
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "pre", (sub,))
+
+        cluster.run_process(before())
+        cluster.crash_server(3)
+        cluster.crash_server(4)
+        cluster.run(until=cluster.sim.now + 4_000.0)
+
+        def after():
+            found = yield from client.lookup(root, "pre")
+            assert found is not None
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "post", (sub,))
+            return "ok"
+
+        assert cluster.run_process(after()) == "ok"
+        assert len(cluster.operational_servers()) == 3
+        assert cluster.replicas_consistent()
+
+    def test_three_crashes_stop_service(self, cluster):
+        client = cluster.add_client("c1")
+        root = cluster.root_capability
+        for index in (2, 3, 4):
+            cluster.crash_server(index)
+        cluster.run(until=cluster.sim.now + 4_000.0)
+
+        def work():
+            try:
+                yield from client.lookup(root, "x")
+            except ReproError as exc:
+                return type(exc).__name__
+            return "served"
+
+        assert cluster.run_process(work()) != "served"
+
+    def test_multicast_cost_independent_of_group_size(self):
+        """One SendToGroup = one bc frame on the wire whether the group
+        has 3 or 5 members (Ethernet multicast — the paper's key
+        scaling argument vs n-1 RPCs)."""
+
+        def bc_frames(n_servers, resilience):
+            cluster = GroupServiceCluster(
+                n_servers=n_servers, seed=8, resilience=resilience,
+                name=f"sz{n_servers}",
+            )
+            cluster.start()
+            cluster.wait_operational()
+            client = cluster.add_client("c")
+            root = cluster.root_capability
+            kind = f"grp.dirsvc.sz{n_servers}.bc"
+            out = {}
+
+            def work():
+                target = yield from client.create_dir()  # warm
+                before = cluster.network.stats.frames_by_kind.get(kind, 0)
+                yield from client.append_row(root, "t", (target,))
+                yield cluster.sim.sleep(200.0)
+                out["frames"] = (
+                    cluster.network.stats.frames_by_kind.get(kind, 0) - before
+                )
+
+            cluster.run_process(work())
+            return out["frames"]
+
+        assert bc_frames(3, 2) == bc_frames(5, 4) == 1
+
+    def test_recovery_with_five(self, cluster):
+        client = cluster.add_client("c1")
+        root = cluster.root_capability
+        cluster.crash_server(0)  # the sequencer
+        cluster.run(until=cluster.sim.now + 4_000.0)
+
+        def during():
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "while-down", (sub,))
+
+        cluster.run_process(during())
+        cluster.restart_server(0)
+        cluster.run(until=cluster.sim.now + 10_000.0)
+        assert cluster.servers[0].operational
+        assert cluster.replicas_consistent()

@@ -1,0 +1,188 @@
+"""End-to-end tests of the group+NVRAM directory service."""
+
+import pytest
+
+from repro.cluster import NvramServiceCluster
+
+
+@pytest.fixture
+def cluster():
+    c = NvramServiceCluster(seed=9, name="nvr")
+    c.start()
+    c.wait_operational()
+    return c
+
+
+class TestFastPath:
+    def test_update_does_no_disk_ops_in_critical_path(self, cluster):
+        client = cluster.add_client("c1")
+        root = cluster.root_capability
+
+        def work():
+            sub = yield from client.create_dir()
+            before = [site.disk.total_ops for site in cluster.sites]
+            yield from client.append_row(root, "fast", (sub,))
+            after = [site.disk.total_ops for site in cluster.sites]
+            return [b - a for a, b in zip(before, after)]
+
+        deltas = cluster.run_process(work())
+        assert deltas == [0, 0, 0]
+
+    def test_append_delete_pair_much_faster_than_disk(self, cluster):
+        """Fig. 7 fourth column: ~27 ms (6.8x faster than plain group)."""
+        client = cluster.add_client("c1")
+        root = cluster.root_capability
+
+        def work():
+            sub = yield from client.create_dir()
+            start = cluster.sim.now
+            yield from client.append_row(root, "t", (sub,))
+            yield from client.delete_row(root, "t")
+            return cluster.sim.now - start
+
+        elapsed = cluster.run_process(work())
+        assert 18.0 < elapsed < 40.0
+
+    def test_tmp_annihilation_saves_all_disk_ops(self, cluster):
+        """The /tmp optimization: append then delete while the append
+        is still logged — neither ever reaches the disk."""
+        client = cluster.add_client("c1")
+        root = cluster.root_capability
+
+        def work():
+            sub = yield from client.create_dir()
+            yield cluster.sim.sleep(2000.0)  # let the flusher drain
+            disk_before = [site.disk.total_ops for site in cluster.sites]
+            yield from client.append_row(root, "tmpfile", (sub,))
+            yield from client.delete_row(root, "tmpfile")
+            yield cluster.sim.sleep(2000.0)  # idle flush happens here
+            disk_after = [site.disk.total_ops for site in cluster.sites]
+            return [b - a for a, b in zip(disk_before, disk_after)]
+
+        deltas = cluster.run_process(work())
+        assert deltas == [0, 0, 0]
+        for site in cluster.sites:
+            assert site.nvram.stats.annihilations >= 1
+
+    def test_idle_flush_applies_log_to_disk(self, cluster):
+        client = cluster.add_client("c1")
+        root = cluster.root_capability
+
+        def work():
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "durable", (sub,))
+            yield cluster.sim.sleep(3000.0)  # idle -> flush
+            return [len(site.nvram) for site in cluster.sites]
+
+        lengths = cluster.run_process(work())
+        assert lengths == [0, 0, 0]
+        for server in cluster.servers:
+            entry = server.admin.entries.get(1)
+            assert entry is not None  # root reached the disk
+
+    def test_full_board_forces_flush_and_keeps_serving(self):
+        cluster = NvramServiceCluster(
+            seed=11, name="tiny", nvram_bytes=1200  # a few records only
+        )
+        cluster.start()
+        cluster.wait_operational()
+        client = cluster.add_client("c1")
+        root = cluster.root_capability
+
+        def work():
+            subs = []
+            for i in range(12):
+                sub = yield from client.create_dir()
+                yield from client.append_row(root, f"n{i}", (sub,))
+                subs.append(sub)
+            rows = yield from client.list_dir(root)
+            return len(rows)
+
+        assert cluster.run_process(work()) == 12
+        for site in cluster.sites:
+            assert site.nvram.stats.flushes >= 1
+
+
+class TestNvramRecovery:
+    def test_logged_updates_survive_crash_and_recovery(self, cluster):
+        """An update that only reached NVRAM (never the disk) must
+        survive a full-service crash: the board is a reliable medium."""
+        client = cluster.add_client("c1")
+        root = cluster.root_capability
+
+        def before():
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "only-in-nvram", (sub,))
+
+        cluster.run_process(before())
+        # Crash all three servers IMMEDIATELY — before any idle flush.
+        boards = [len(site.nvram) for site in cluster.sites]
+        assert any(n > 0 for n in boards)
+        for i in range(3):
+            cluster.crash_server(i)
+        cluster.run(until=cluster.sim.now + 500.0)
+        for i in range(3):
+            cluster.restart_server(i)
+        cluster.wait_operational(timeout_ms=60_000.0)
+
+        reader = cluster.add_client("reader")
+
+        def after():
+            found = yield from reader.lookup(root, "only-in-nvram")
+            return found is not None
+
+        assert cluster.run_process(after()) is True
+        assert cluster.replicas_consistent()
+
+    def test_crash_mid_flush_loses_nothing(self, cluster):
+        """Regression: records leave the board only AFTER their disk
+        writes complete, so a crash in the middle of a flush must not
+        lose an acknowledged update."""
+        client = cluster.add_client("c1")
+        root = cluster.root_capability
+
+        def seed_data():
+            for i in range(4):
+                sub = yield from client.create_dir()
+                yield from client.append_row(root, f"k{i}", (sub,))
+
+        cluster.run_process(seed_data())
+        # Force a flush on every server and crash them all while the
+        # flush's disk writes are in progress (a few ms in).
+        for server in cluster.servers:
+            server._flush_requested = True
+        cluster.run(until=cluster.sim.now + 60.0)  # flusher poll + start
+        for i in range(3):
+            cluster.crash_server(i)
+        cluster.run(until=cluster.sim.now + 500.0)
+        for i in range(3):
+            cluster.restart_server(i)
+        cluster.wait_operational(timeout_ms=60_000.0)
+
+        reader = cluster.add_client("reader")
+
+        def after():
+            results = []
+            for i in range(4):
+                found = yield from reader.lookup(root, f"k{i}")
+                results.append(found is not None)
+            return results
+
+        assert cluster.run_process(after()) == [True] * 4
+        assert cluster.replicas_consistent()
+
+    def test_single_crash_and_catchup_with_nvram(self, cluster):
+        client = cluster.add_client("c1")
+        root = cluster.root_capability
+        cluster.crash_server(2)
+        cluster.run(until=cluster.sim.now + 2500.0)
+
+        def during():
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "while-down", (sub,))
+
+        cluster.run_process(during())
+        cluster.restart_server(2)
+        cluster.run(until=cluster.sim.now + 8000.0)
+        assert cluster.servers[2].operational
+        assert "while-down" in cluster.servers[2].state.directories[1].names()

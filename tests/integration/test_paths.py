@@ -1,0 +1,98 @@
+"""Hierarchical path operations over the public API."""
+
+import pytest
+
+from repro.cluster import GroupServiceCluster
+
+
+@pytest.fixture
+def cluster():
+    c = GroupServiceCluster(seed=67)
+    c.start()
+    c.wait_operational()
+    return c
+
+
+class TestResolvePath:
+    def test_walks_components(self, cluster):
+        client = cluster.add_client("c")
+        root = cluster.root_capability
+
+        def work():
+            home = yield from client.create_dir()
+            ast = yield from client.create_dir()
+            yield from client.append_row(root, "home", (home,))
+            yield from client.append_row(home, "ast", (ast,))
+            found = yield from client.resolve_path(root, "home/ast")
+            return found == ast
+
+        assert cluster.run_process(work()) is True
+
+    def test_missing_component_yields_none(self, cluster):
+        client = cluster.add_client("c")
+        root = cluster.root_capability
+
+        def work():
+            found = yield from client.resolve_path(root, "no/such/path")
+            return found
+
+        assert cluster.run_process(work()) is None
+
+    def test_empty_and_slashy_paths(self, cluster):
+        client = cluster.add_client("c")
+        root = cluster.root_capability
+
+        def work():
+            same = yield from client.resolve_path(root, "")
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "a", (sub,))
+            slashy = yield from client.resolve_path(root, "//a///")
+            return same == root, slashy == sub
+
+        assert cluster.run_process(work()) == (True, True)
+
+
+class TestMakePath:
+    def test_creates_all_missing_directories(self, cluster):
+        client = cluster.add_client("c")
+        root = cluster.root_capability
+
+        def work():
+            leaf = yield from client.make_path(root, "projects/repro/src")
+            resolved = yield from client.resolve_path(root, "projects/repro/src")
+            assert resolved == leaf
+            # Intermediates exist and are directories we can use.
+            mid = yield from client.resolve_path(root, "projects/repro")
+            yield from client.append_row(mid, "marker", (leaf,))
+            return "ok"
+
+        assert cluster.run_process(work()) == "ok"
+        assert cluster.replicas_consistent()
+
+    def test_idempotent_on_existing_path(self, cluster):
+        client = cluster.add_client("c")
+        root = cluster.root_capability
+
+        def work():
+            first = yield from client.make_path(root, "x/y")
+            second = yield from client.make_path(root, "x/y")
+            return first == second
+
+        assert cluster.run_process(work()) is True
+
+    def test_concurrent_make_path_converges(self, cluster):
+        root = cluster.root_capability
+        c1 = cluster.add_client("p1")
+        c2 = cluster.add_client("p2")
+        results = []
+
+        def maker(client):
+            leaf = yield from client.make_path(root, "shared/deep/dir")
+            results.append(leaf)
+
+        cluster.sim.spawn(maker(c1), "m1")
+        cluster.sim.spawn(maker(c2), "m2")
+        cluster.run(until=cluster.sim.now + 30_000.0)
+        assert len(results) == 2
+        assert results[0] == results[1]  # both adopted the same tree
+        assert cluster.replicas_consistent()

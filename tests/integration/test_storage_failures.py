@@ -1,0 +1,125 @@
+"""Storage-subsystem failures: Bullet crashes and head crashes.
+
+A directory server is useless without its Bullet server (Fig. 3 pairs
+them one-to-one), so when its storage stops answering it fences itself
+— fail-stop semantics — and the surviving majority reconfigures.
+"""
+
+import pytest
+
+from repro.cluster import GroupServiceCluster
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def cluster():
+    c = GroupServiceCluster(seed=14)
+    c.start()
+    c.wait_operational()
+    return c
+
+
+class TestBulletCrash:
+    def test_server_fences_itself_when_bullet_dies(self, cluster):
+        client = cluster.add_client("c")
+        root = cluster.root_capability
+
+        def seed_data():
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "pre", (sub,))
+
+        cluster.run_process(seed_data())
+        cluster.sites[2].crash_bullet_server()
+
+        def trigger():
+            # A write forces server 2's group thread into its dead
+            # Bullet server.
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "post", (sub,))
+
+        cluster.run_process(trigger())
+        # Bullet RPC retries exhaust, then the server self-fences.
+        cluster.run(until=cluster.sim.now + 30_000.0)
+        assert not cluster.servers[2].alive
+        # Survivors reconfigured and keep serving.
+        for index in (0, 1):
+            assert sorted(cluster.servers[index].member.info().view) == sorted(
+                [cluster.sites[0].dir_address, cluster.sites[1].dir_address]
+            )
+
+        def after():
+            found = yield from client.lookup(root, "post")
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "after-fence", (sub,))
+            return found is not None
+
+        assert cluster.run_process(after()) is True
+        assert cluster.replicas_consistent()
+
+    def test_site_recovers_after_both_machines_restart(self, cluster):
+        client = cluster.add_client("c")
+        root = cluster.root_capability
+        cluster.sites[2].crash_bullet_server()
+
+        def trigger():
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "during", (sub,))
+
+        cluster.run_process(trigger())
+        cluster.run(until=cluster.sim.now + 30_000.0)
+        assert not cluster.servers[2].alive
+        # Bring the whole site back: Bullet first, then the server.
+        cluster.sites[2].restart_bullet_server()
+        cluster.restart_server(2)
+        cluster.run(until=cluster.sim.now + 12_000.0)
+        assert cluster.servers[2].operational
+        assert cluster.replicas_consistent()
+        assert "during" in cluster.servers[2].state.directories[1].names()
+
+
+class TestHeadCrash:
+    def test_head_crash_is_survivable_via_peers(self, cluster):
+        """The paper's 'if one of the disks becomes unreadable' case:
+        the other replicas carry the data; the victim site recovers by
+        state transfer once its hardware is replaced."""
+        client = cluster.add_client("c")
+        root = cluster.root_capability
+
+        def seed_data():
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "survives-head-crash", (sub,))
+
+        cluster.run_process(seed_data())
+        cluster.run(until=cluster.sim.now + 1_000.0)
+        # Disk 2 dies; crash the site with it (its server cannot run).
+        cluster.sites[2].disk.fail()
+        cluster.crash_server(2)
+        cluster.sites[2].crash_bullet_server()
+        cluster.run(until=cluster.sim.now + 3_000.0)
+
+        def still_served():
+            found = yield from client.lookup(root, "survives-head-crash")
+            return found is not None
+
+        assert cluster.run_process(still_served()) is True
+
+        # "Replace" the disk (fresh hardware), restart the site.
+        from repro.cluster import ADMIN_PARTITION_BLOCKS, ADMIN_PARTITION_START
+        from repro.storage import Disk, RawPartition
+
+        site = cluster.sites[2]
+        site.disk = Disk(
+            cluster.sim,
+            "replacement-disk",
+            latency=cluster.latency.disk,
+            blocks=ADMIN_PARTITION_START + ADMIN_PARTITION_BLOCKS,
+        )
+        site.partition = RawPartition(
+            site.disk, ADMIN_PARTITION_START, ADMIN_PARTITION_BLOCKS
+        )
+        site.restart_bullet_server()
+        cluster.restart_server(2)
+        cluster.run(until=cluster.sim.now + 15_000.0)
+        assert cluster.servers[2].operational
+        assert cluster.replicas_consistent()
+        assert "survives-head-crash" in cluster.servers[2].state.directories[1].names()

@@ -1,0 +1,209 @@
+"""Unit tests for Condition, Semaphore, Mutex and Channel."""
+
+import pytest
+
+from repro.errors import Interrupted, SimulationError
+from repro.sim import Channel, Condition, Mutex, Semaphore, Simulator
+
+
+class TestCondition:
+    def test_notify_wakes_all_waiters(self):
+        cond = Condition()
+        a, b = cond.wait(), cond.wait()
+        assert cond.notify_all("v") == 2
+        assert a.value == "v" and b.value == "v"
+
+    def test_waiter_registered_after_notify_stays_pending(self):
+        cond = Condition()
+        cond.notify_all()
+        fut = cond.wait()
+        assert not fut.resolved
+
+    def test_wait_until_rechecks_predicate(self):
+        sim = Simulator()
+        cond = Condition()
+        state = {"ready": False}
+
+        def waiter():
+            yield from cond.wait_until(lambda: state["ready"])
+            return "woken"
+
+        def setter():
+            yield sim.sleep(1.0)
+            cond.notify_all()  # spurious: predicate still false
+            yield sim.sleep(1.0)
+            state["ready"] = True
+            cond.notify_all()
+
+        process = sim.spawn(waiter())
+        sim.spawn(setter())
+        assert sim.run_until_complete(process) == "woken"
+        assert sim.now == 2.0
+
+    def test_wait_until_true_predicate_returns_immediately(self):
+        sim = Simulator()
+        cond = Condition()
+
+        def waiter():
+            yield from cond.wait_until(lambda: True)
+            return "fast"
+
+        assert sim.run_until_complete(sim.spawn(waiter())) == "fast"
+
+
+class TestSemaphore:
+    def test_initial_value_enforced(self):
+        with pytest.raises(SimulationError):
+            Semaphore(-1)
+
+    def test_acquire_below_capacity_is_immediate(self):
+        sem = Semaphore(2)
+        assert sem.acquire().resolved
+        assert sem.acquire().resolved
+        assert not sem.acquire().resolved
+
+    def test_release_wakes_fifo(self):
+        sem = Semaphore(0)
+        first, second = sem.acquire(), sem.acquire()
+        sem.release()
+        assert first.resolved and not second.resolved
+        sem.release()
+        assert second.resolved
+
+    def test_try_acquire(self):
+        sem = Semaphore(1)
+        assert sem.try_acquire()
+        assert not sem.try_acquire()
+        sem.release()
+        assert sem.try_acquire()
+
+    def test_release_without_waiters_increments(self):
+        sem = Semaphore(0)
+        sem.release()
+        assert sem.value == 1
+
+    def test_release_skips_interrupted_waiters(self):
+        sem = Semaphore(0)
+        first, second = sem.acquire(), sem.acquire()
+        first.interrupt()
+        sem.release()
+        assert second.resolved
+
+
+class TestMutex:
+    def test_held_flag(self):
+        mutex = Mutex()
+        assert not mutex.held
+        mutex.acquire()
+        assert mutex.held
+        mutex.release()
+        assert not mutex.held
+
+    def test_mutual_exclusion_in_processes(self):
+        sim = Simulator()
+        mutex = Mutex()
+        active = {"count": 0, "max": 0}
+
+        def worker():
+            yield mutex.acquire()
+            active["count"] += 1
+            active["max"] = max(active["max"], active["count"])
+            yield sim.sleep(1.0)
+            active["count"] -= 1
+            mutex.release()
+
+        for _ in range(5):
+            sim.spawn(worker())
+        sim.run()
+        assert active["max"] == 1
+        assert sim.now == 5.0
+
+
+class TestChannel:
+    def test_send_then_recv(self):
+        ch = Channel()
+        ch.send("a")
+        ch.send("b")
+        assert ch.recv().value == "a"
+        assert ch.recv().value == "b"
+
+    def test_recv_blocks_until_send(self):
+        ch = Channel()
+        fut = ch.recv()
+        assert not fut.resolved
+        ch.send("x")
+        assert fut.value == "x"
+
+    def test_blocked_receivers_served_fifo(self):
+        ch = Channel()
+        first, second = ch.recv(), ch.recv()
+        ch.send(1)
+        ch.send(2)
+        assert first.value == 1 and second.value == 2
+
+    def test_try_recv(self):
+        ch = Channel()
+        assert ch.try_recv() == (False, None)
+        ch.send(9)
+        assert ch.try_recv() == (True, 9)
+
+    def test_len_and_peek(self):
+        ch = Channel()
+        ch.send(1)
+        ch.send(2)
+        assert len(ch) == 2
+        assert ch.peek_all() == [1, 2]
+        assert len(ch) == 2  # peek must not consume
+
+    def test_close_fails_blocked_receivers(self):
+        ch = Channel("c")
+        fut = ch.recv()
+        ch.close()
+        assert isinstance(fut.exception, Interrupted)
+        assert isinstance(ch.recv().exception, Interrupted)
+
+    def test_close_with_custom_exception(self):
+        ch = Channel()
+        ch.close(ValueError("nic down"))
+        assert isinstance(ch.recv().exception, ValueError)
+
+    def test_send_after_close_is_dropped(self):
+        ch = Channel()
+        ch.close()
+        ch.send("lost")  # must not raise, message just vanishes
+        assert len(ch) == 0
+
+    def test_send_skips_interrupted_receiver(self):
+        ch = Channel()
+        dead, live = ch.recv(), ch.recv()
+        dead.interrupt()
+        ch.send("v")
+        assert live.value == "v"
+
+
+class TestLatencyModel:
+    def test_paper_testbed_disk_write_is_tens_of_ms(self):
+        from repro.sim import LatencyModel
+
+        model = LatencyModel.paper_testbed()
+        t = model.disk.access_time(1024)
+        assert 25.0 < t < 45.0
+
+    def test_cached_write_is_fast(self):
+        from repro.sim import LatencyModel
+
+        model = LatencyModel.paper_testbed()
+        assert model.disk.access_time(1024, cached=True) < 5.0
+
+    def test_instant_model_is_all_zero(self):
+        from repro.sim import LatencyModel
+
+        model = LatencyModel.instant()
+        assert model.disk.access_time(4096) == 0.0
+        assert model.network.transmit_time(1000) == 0.0
+
+    def test_network_transmit_scales_with_size(self):
+        from repro.sim import LatencyModel
+
+        net = LatencyModel.paper_testbed().network
+        assert net.transmit_time(10_000) > net.transmit_time(100)

@@ -1,0 +1,94 @@
+"""Unit tests for the CPU resource."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.resources import Cpu
+
+
+def make():
+    sim = Simulator(seed=0)
+    return sim, Cpu(sim, "cpu0")
+
+
+class TestCpu:
+    def test_single_use_charges_time(self):
+        sim, cpu = make()
+
+        def work():
+            yield from cpu.use(5.0)
+
+        sim.run_until_complete(sim.spawn(work()))
+        assert sim.now == 5.0
+        assert cpu.busy_ms == 5.0
+
+    def test_zero_duration_is_free(self):
+        sim, cpu = make()
+
+        def work():
+            yield from cpu.use(0.0)
+
+        sim.run_until_complete(sim.spawn(work()))
+        assert sim.now == 0.0
+
+    def test_contending_processes_serialize(self):
+        sim, cpu = make()
+        finish_times = []
+
+        def work(tag):
+            yield from cpu.use(3.0)
+            finish_times.append((tag, sim.now))
+
+        for i in range(4):
+            sim.spawn(work(i))
+        sim.run()
+        assert sim.now == pytest.approx(12.0)
+        # FIFO: completion order equals spawn order.
+        assert [tag for tag, _ in finish_times] == [0, 1, 2, 3]
+        assert [t for _, t in finish_times] == pytest.approx([3.0, 6.0, 9.0, 12.0])
+
+    def test_idle_flag(self):
+        sim, cpu = make()
+        assert cpu.idle
+
+        def work():
+            yield from cpu.use(2.0)
+
+        sim.spawn(work())
+        sim.run(until=1.0)
+        assert not cpu.idle
+        sim.run()
+        assert cpu.idle
+
+    def test_utilization(self):
+        sim, cpu = make()
+
+        def work():
+            yield from cpu.use(4.0)
+            yield sim.sleep(6.0)  # off-CPU time
+
+        sim.run_until_complete(sim.spawn(work()))
+        assert cpu.utilization(sim.now) == pytest.approx(0.4)
+
+    def test_utilization_empty_window(self):
+        _, cpu = make()
+        assert cpu.utilization(0.0) == 0.0
+
+    def test_sleeping_does_not_hold_cpu(self):
+        """Blocking on I/O (plain sleep) must not serialize with CPU."""
+        sim, cpu = make()
+        done = []
+
+        def cpu_bound():
+            yield from cpu.use(3.0)
+            done.append(("cpu", sim.now))
+
+        def io_bound():
+            yield sim.sleep(3.0)
+            done.append(("io", sim.now))
+
+        sim.spawn(io_bound())
+        sim.spawn(cpu_bound())
+        sim.run()
+        assert sim.now == pytest.approx(3.0)  # fully overlapped
+        assert len(done) == 2

@@ -1,0 +1,292 @@
+"""Unit tests for the Simulator event loop and processes."""
+
+import pytest
+
+from repro.errors import Interrupted, SimulationError, TimeoutError as SimTimeout
+from repro.sim import Simulator
+from repro.sim.future import Future
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.run()
+        assert order == ["early", "late"]
+        assert sim.now == 5.0
+
+    def test_same_time_events_run_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for i in range(10):
+            sim.schedule(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == list(range(10))
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_cancelled_timer_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.schedule(1.0, lambda: fired.append(True))
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_run_until_stops_clock_at_bound(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100.0, lambda: fired.append(True))
+        sim.run(until=50.0)
+        assert sim.now == 50.0
+        assert fired == []
+        sim.run()
+        assert fired == [True]
+
+    def test_run_until_advances_idle_clock(self):
+        sim = Simulator()
+        sim.run(until=123.0)
+        assert sim.now == 123.0
+
+    def test_event_scheduled_during_run_executes(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: order.append("nested")))
+        sim.run()
+        assert order == ["nested"]
+        assert sim.now == 2.0
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.call_soon(rearm)
+
+        sim.call_soon(rearm)
+        with pytest.raises(SimulationError, match="livelock"):
+            sim.run(max_events=100)
+
+
+class TestSleepAndTimeout:
+    def test_sleep_resolves_at_deadline(self):
+        sim = Simulator()
+        fut = sim.sleep(10.0)
+        sim.run()
+        assert fut.resolved
+        assert sim.now == 10.0
+
+    def test_timeout_fires_when_future_is_slow(self):
+        sim = Simulator()
+        slow = Future("slow")
+        wrapped = sim.timeout(slow, 5.0, reason="too slow")
+        sim.schedule(10.0, lambda: slow.resolve_if_pending("late"))
+        sim.run()
+        assert isinstance(wrapped.exception, SimTimeout)
+
+    def test_timeout_passes_value_when_fast(self):
+        sim = Simulator()
+        fast = Future("fast")
+        wrapped = sim.timeout(fast, 5.0)
+        sim.schedule(1.0, lambda: fast.resolve("quick"))
+        sim.run()
+        assert wrapped.value == "quick"
+
+    def test_timeout_propagates_failure(self):
+        sim = Simulator()
+        failing = Future()
+        wrapped = sim.timeout(failing, 5.0)
+        sim.schedule(1.0, lambda: failing.fail(ValueError("x")))
+        sim.run()
+        assert isinstance(wrapped.exception, ValueError)
+
+
+class TestProcesses:
+    def test_process_returns_generator_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.sleep(3.0)
+            return "done"
+
+        process = sim.spawn(proc(), "p")
+        result = sim.run_until_complete(process)
+        assert result == "done"
+        assert sim.now == 3.0
+
+    def test_spawn_rejects_non_generator(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="generator"):
+            sim.spawn(lambda: None)  # type: ignore[arg-type]
+
+    def test_yielding_non_future_fails_process(self):
+        sim = Simulator()
+
+        def proc():
+            yield 42  # type: ignore[misc]
+
+        process = sim.spawn(proc())
+        sim.run()
+        assert isinstance(process.exception, SimulationError)
+
+    def test_exception_in_process_captured(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.sleep(1.0)
+            raise RuntimeError("inner")
+
+        process = sim.spawn(proc())
+        sim.run()
+        assert isinstance(process.exception, RuntimeError)
+
+    def test_future_failure_raised_inside_process(self):
+        sim = Simulator()
+        doomed = Future()
+        sim.schedule(1.0, lambda: doomed.fail(KeyError("gone")))
+        caught = []
+
+        def proc():
+            try:
+                yield doomed
+            except KeyError as exc:
+                caught.append(exc)
+            return "recovered"
+
+        process = sim.spawn(proc())
+        assert sim.run_until_complete(process) == "recovered"
+        assert len(caught) == 1
+
+    def test_processes_can_join_each_other(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.sleep(5.0)
+            return 99
+
+        def parent():
+            value = yield sim.spawn(child(), "child")
+            return value + 1
+
+        process = sim.spawn(parent(), "parent")
+        assert sim.run_until_complete(process) == 100
+
+    def test_kill_runs_finally_blocks(self):
+        sim = Simulator()
+        cleaned = []
+
+        def proc():
+            try:
+                yield sim.sleep(100.0)
+            finally:
+                cleaned.append(True)
+
+        process = sim.spawn(proc())
+        sim.run(until=1.0)
+        process.kill("crash")
+        assert cleaned == [True]
+        assert isinstance(process.exception, Interrupted)
+
+    def test_killed_process_does_not_resume(self):
+        sim = Simulator()
+        progressed = []
+
+        def proc():
+            yield sim.sleep(10.0)
+            progressed.append(True)
+
+        process = sim.spawn(proc())
+        sim.run(until=1.0)
+        process.kill()
+        sim.run()
+        assert progressed == []
+
+    def test_join_killed_process_raises_interrupted(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.sleep(100.0)
+
+        def parent(child_proc):
+            try:
+                yield child_proc
+            except Interrupted:
+                return "child died"
+            return "child finished"
+
+        child_proc = sim.spawn(child(), "child")
+        parent_proc = sim.spawn(parent(child_proc), "parent")
+        sim.schedule(1.0, lambda: child_proc.kill())
+        assert sim.run_until_complete(parent_proc) == "child died"
+
+    def test_run_until_complete_detects_deadlock(self):
+        sim = Simulator()
+
+        def proc():
+            yield Future("never")
+
+        process = sim.spawn(proc())
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_until_complete(process)
+
+    def test_alive_processes_listing(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.sleep(10.0)
+
+        process = sim.spawn(proc())
+        assert process in sim.alive_processes()
+        sim.run()
+        assert process not in sim.alive_processes()
+
+
+class TestDeterminism:
+    def test_identical_seeds_produce_identical_traces(self):
+        def build_and_run(seed):
+            sim = Simulator(seed=seed)
+            sim.trace = []
+            rng = sim.rng.stream("worker")
+
+            def worker(i):
+                for _ in range(5):
+                    yield sim.sleep(rng.uniform(0.1, 2.0))
+                    sim.log(f"worker {i} tick")
+
+            for i in range(4):
+                sim.spawn(worker(i), f"w{i}")
+            sim.run()
+            return sim.trace
+
+        assert build_and_run(7) == build_and_run(7)
+
+    def test_different_seeds_diverge(self):
+        def final_time(seed):
+            sim = Simulator(seed=seed)
+
+            def worker():
+                yield sim.sleep(sim.rng.uniform("w", 1.0, 100.0))
+
+            sim.spawn(worker())
+            sim.run()
+            return sim.now
+
+        assert final_time(1) != final_time(2)
+
+    def test_rng_streams_are_independent(self):
+        sim = Simulator(seed=3)
+        first_a = sim.rng.uniform("a", 0, 1)
+        # Draw from another stream, then again from "a": interleaving
+        # another stream must not change "a"'s sequence.
+        sim2 = Simulator(seed=3)
+        assert sim2.rng.uniform("a", 0, 1) == first_a
+        sim2.rng.uniform("b", 0, 1)
+        sim3 = Simulator(seed=3)
+        sim3.rng.uniform("a", 0, 1)
+        assert sim2.rng.uniform("a", 0, 1) == sim3.rng.uniform("a", 0, 1)

@@ -1,0 +1,235 @@
+"""Unit tests for the disk model and raw partitions."""
+
+import pytest
+
+from repro.errors import DiskFailure, StorageError
+from repro.sim import Simulator
+from repro.storage import Disk, RawPartition
+
+
+def make_disk(**kwargs):
+    sim = Simulator(seed=0)
+    return sim, Disk(sim, "d0", **kwargs)
+
+
+def run(sim, gen):
+    return sim.run_until_complete(sim.spawn(gen))
+
+
+class TestBlockStore:
+    def test_write_read_roundtrip(self):
+        sim, disk = make_disk()
+
+        def work():
+            yield from disk.write_block(3, b"hello")
+            data = yield from disk.read_block(3)
+            return data
+
+        assert run(sim, work()) == b"hello"
+
+    def test_unwritten_block_reads_empty(self):
+        sim, disk = make_disk()
+
+        def work():
+            data = yield from disk.read_block(7)
+            return data
+
+        assert run(sim, work()) == b""
+
+    def test_out_of_range_rejected(self):
+        sim, disk = make_disk(blocks=10)
+
+        def work():
+            yield from disk.write_block(10, b"x")
+
+        process = sim.spawn(work())
+        sim.run()
+        assert isinstance(process.exception, StorageError)
+
+    def test_oversized_block_rejected(self):
+        sim, disk = make_disk()
+
+        def work():
+            yield from disk.write_block(0, b"x" * 2048)
+
+        process = sim.spawn(work())
+        sim.run()
+        assert isinstance(process.exception, StorageError)
+
+    def test_random_write_costs_tens_of_ms(self):
+        sim, disk = make_disk()
+
+        def work():
+            yield from disk.write_block(0, b"x" * 1024)
+
+        run(sim, work())
+        assert 25.0 < sim.now < 45.0
+
+    def test_cached_write_is_cheap(self):
+        sim, disk = make_disk()
+
+        def work():
+            yield from disk.write_block(0, b"x", kind="cached")
+
+        run(sim, work())
+        assert sim.now < 5.0
+
+    def test_sequential_cheaper_than_random(self):
+        def time_for(kind):
+            sim, disk = make_disk()
+
+            def work():
+                yield from disk.write_block(0, b"x" * 1024, kind=kind)
+
+            run(sim, work())
+            return sim.now
+
+        assert time_for("sequential") < time_for("random")
+
+    def test_ops_are_serialized_fifo(self):
+        sim, disk = make_disk()
+
+        def work():
+            yield from disk.write_block(0, b"a")
+
+        sim.spawn(work())
+        sim.spawn(work())
+        sim.run()
+        # Two serialized random ops take twice one op's time.
+        single = disk.latency.random_ms(1024)
+        assert sim.now == pytest.approx(2 * single, rel=0.01)
+
+    def test_op_counters(self):
+        sim, disk = make_disk()
+
+        def work():
+            yield from disk.write_block(0, b"a")
+            yield from disk.write_block(1, b"b", kind="cached")
+            yield from disk.read_block(0)
+
+        run(sim, work())
+        assert disk.ops == {"random": 2, "sequential": 0, "cached": 1}
+        assert disk.total_ops == 3
+
+    def test_peek_is_zero_time(self):
+        sim, disk = make_disk()
+
+        def work():
+            yield from disk.write_block(2, b"z")
+
+        run(sim, work())
+        before = sim.now
+        assert disk.peek_block(2) == b"z"
+        assert sim.now == before
+
+
+class TestExtentStore:
+    def test_extent_roundtrip(self):
+        sim, disk = make_disk()
+
+        def work():
+            yield from disk.write_extent("f1", b"contents", 8)
+            data = yield from disk.read_extent("f1", 8)
+            return data
+
+        assert run(sim, work()) == b"contents"
+
+    def test_missing_extent_raises(self):
+        sim, disk = make_disk()
+
+        def work():
+            yield from disk.read_extent("ghost", 8)
+
+        process = sim.spawn(work())
+        sim.run()
+        assert isinstance(process.exception, StorageError)
+
+    def test_delete_extent(self):
+        sim, disk = make_disk()
+
+        def work():
+            yield from disk.write_extent("f", b"x", 1)
+            yield from disk.delete_extent("f")
+
+        run(sim, work())
+        assert not disk.has_extent("f")
+
+    def test_extent_keys_scan(self):
+        sim, disk = make_disk()
+
+        def work():
+            yield from disk.write_extent(("bullet", "a", 1), b"x", 1)
+            yield from disk.write_extent(("bullet", "a", 2), b"y", 1)
+
+        run(sim, work())
+        assert sorted(disk.extent_keys()) == [("bullet", "a", 1), ("bullet", "a", 2)]
+
+
+class TestHeadCrash:
+    def test_fail_loses_everything(self):
+        sim, disk = make_disk()
+
+        def work():
+            yield from disk.write_block(0, b"precious")
+            yield from disk.write_extent("f", b"also precious", 13)
+
+        run(sim, work())
+        disk.fail()
+        with pytest.raises(DiskFailure):
+            disk.peek_block(0)
+        with pytest.raises(DiskFailure):
+            disk.extent_keys()
+
+    def test_access_after_fail_raises(self):
+        sim, disk = make_disk()
+        disk.fail()
+
+        def work():
+            yield from disk.read_block(0)
+
+        process = sim.spawn(work())
+        sim.run()
+        assert isinstance(process.exception, DiskFailure)
+
+
+class TestRawPartition:
+    def test_translation(self):
+        sim, disk = make_disk()
+        part = RawPartition(disk, start=100, length=10)
+
+        def work():
+            yield from part.write_block(0, b"commit")
+
+        run(sim, work())
+        assert disk.peek_block(100) == b"commit"
+        assert part.peek_block(0) == b"commit"
+
+    def test_partition_bounds(self):
+        sim, disk = make_disk()
+        part = RawPartition(disk, start=0, length=5)
+
+        def work():
+            yield from part.read_block(5)
+
+        process = sim.spawn(work())
+        sim.run()
+        assert isinstance(process.exception, StorageError)
+
+    def test_partition_must_fit_disk(self):
+        sim, disk = make_disk(blocks=100)
+        with pytest.raises(StorageError):
+            RawPartition(disk, start=90, length=20)
+
+    def test_partitions_share_the_arm(self):
+        sim, disk = make_disk()
+        p1 = RawPartition(disk, 0, 10)
+        p2 = RawPartition(disk, 10, 10)
+
+        def work(part):
+            yield from part.write_block(0, b"x")
+
+        sim.spawn(work(p1))
+        sim.spawn(work(p2))
+        sim.run()
+        single = disk.latency.random_ms(1024)
+        assert sim.now == pytest.approx(2 * single, rel=0.01)

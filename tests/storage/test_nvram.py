@@ -1,0 +1,149 @@
+"""Unit tests for the NVRAM log."""
+
+import pytest
+
+from repro.errors import NvramFull
+from repro.sim import Simulator
+from repro.storage import Nvram, NvramRecord
+from repro.storage.nvram import RECORD_OVERHEAD
+
+
+def make_nvram(capacity=1024, write_ms=3.0):
+    sim = Simulator(seed=0)
+    return sim, Nvram(sim, capacity_bytes=capacity, write_ms=write_ms)
+
+
+def run(sim, gen):
+    return sim.run_until_complete(sim.spawn(gen))
+
+
+def record(key, op="append", size=64, payload=None):
+    return NvramRecord(key=key, op=op, payload=payload, size=size)
+
+
+class TestAppend:
+    def test_append_charges_write_time(self):
+        sim, nvram = make_nvram()
+
+        def work():
+            yield from nvram.append(record("k"))
+
+        run(sim, work())
+        assert sim.now == pytest.approx(3.0)
+        assert len(nvram) == 1
+
+    def test_seqnos_are_monotonic(self):
+        sim, nvram = make_nvram()
+
+        def work():
+            for i in range(3):
+                yield from nvram.append(record(f"k{i}"))
+
+        run(sim, work())
+        seqnos = [r.seqno for r in nvram.snapshot()]
+        assert seqnos == sorted(seqnos)
+        assert len(set(seqnos)) == 3
+
+    def test_capacity_enforced(self):
+        sim, nvram = make_nvram(capacity=2 * (64 + RECORD_OVERHEAD))
+
+        def work():
+            yield from nvram.append(record("a"))
+            yield from nvram.append(record("b"))
+            yield from nvram.append(record("c"))
+
+        process = sim.spawn(work())
+        sim.run()
+        assert isinstance(process.exception, NvramFull)
+        assert len(nvram) == 2
+
+    def test_would_fit(self):
+        _, nvram = make_nvram(capacity=200)
+        assert nvram.would_fit(200 - RECORD_OVERHEAD)
+        assert not nvram.would_fit(200)
+
+    def test_used_and_free_bytes(self):
+        sim, nvram = make_nvram(capacity=1024)
+
+        def work():
+            yield from nvram.append(record("a", size=100))
+
+        run(sim, work())
+        assert nvram.used_bytes == 100 + RECORD_OVERHEAD
+        assert nvram.free_bytes == 1024 - 100 - RECORD_OVERHEAD
+
+
+class TestAnnihilation:
+    def test_append_delete_pair_annihilates(self):
+        """The /tmp optimization: both records vanish, no disk I/O."""
+        sim, nvram = make_nvram()
+
+        def work():
+            yield from nvram.append(record(("d1", "tmpfile"), op="append"))
+
+        run(sim, work())
+        removed = nvram.annihilate(lambda r: r.key == ("d1", "tmpfile"))
+        assert len(removed) == 1
+        assert len(nvram) == 0
+        assert nvram.used_bytes == 0
+        assert nvram.stats.annihilations == 1
+
+    def test_annihilate_only_matching_keys(self):
+        sim, nvram = make_nvram()
+
+        def work():
+            yield from nvram.append(record("keep"))
+            yield from nvram.append(record("drop"))
+
+        run(sim, work())
+        nvram.annihilate(lambda r: r.key == "drop")
+        assert [r.key for r in nvram.snapshot()] == ["keep"]
+
+    def test_annihilate_nothing_is_noop(self):
+        _, nvram = make_nvram()
+        assert nvram.annihilate(lambda r: True) == []
+        assert nvram.stats.annihilations == 0
+
+    def test_pending_for_key(self):
+        sim, nvram = make_nvram()
+
+        def work():
+            yield from nvram.append(record("a", op="append"))
+            yield from nvram.append(record("b", op="append"))
+            yield from nvram.append(record("a", op="chmod"))
+
+        run(sim, work())
+        pending = nvram.pending_for_key("a")
+        assert [r.op for r in pending] == ["append", "chmod"]
+
+
+class TestFlush:
+    def test_drain_empties_the_board(self):
+        sim, nvram = make_nvram()
+
+        def work():
+            yield from nvram.append(record("a"))
+            yield from nvram.append(record("b"))
+
+        run(sim, work())
+        drained = nvram.drain()
+        assert [r.key for r in drained] == ["a", "b"]
+        assert len(nvram) == 0
+        assert nvram.free_bytes == nvram.capacity_bytes
+        assert nvram.stats.flushes == 1
+        assert nvram.stats.flushed_records == 2
+
+    def test_drain_empty_is_not_a_flush(self):
+        _, nvram = make_nvram()
+        assert nvram.drain() == []
+        assert nvram.stats.flushes == 0
+
+    def test_snapshot_is_nondestructive(self):
+        sim, nvram = make_nvram()
+
+        def work():
+            yield from nvram.append(record("a"))
+
+        run(sim, work())
+        assert len(nvram.snapshot()) == 1
+        assert len(nvram) == 1

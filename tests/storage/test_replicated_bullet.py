@@ -1,0 +1,215 @@
+"""End-to-end tests of the replicated Bullet file service (§5 vision)."""
+
+import pytest
+
+from repro.amoeba import Rights, restrict
+from repro.cluster import ReplicatedBulletCluster
+from repro.errors import CapabilityError, NoSuchFile, ReproError
+
+
+def make_cluster(nvram=False, seed=2, name=None):
+    cluster = ReplicatedBulletCluster(
+        seed=seed, nvram=nvram, name=name or ("rbn" if nvram else "rbd")
+    )
+    cluster.start()
+    cluster.wait_operational()
+    return cluster
+
+
+class TestBasicOperation:
+    def test_create_read_delete_roundtrip(self):
+        cluster = make_cluster()
+        client = cluster.add_file_client("c1")
+
+        def work():
+            cap = yield from client.create(b"replicated!")
+            data = yield from client.read(cap)
+            assert data == b"replicated!"
+            n = yield from client.size(cap)
+            assert n == 11
+            yield from client.delete(cap)
+            try:
+                yield from client.read(cap)
+            except NoSuchFile:
+                return "gone"
+
+        assert cluster.run_process(work()) == "gone"
+
+    def test_all_replicas_store_the_file(self):
+        cluster = make_cluster()
+        client = cluster.add_file_client("c1")
+
+        def work():
+            cap = yield from client.create(b"everywhere")
+            yield cluster.sim.sleep(500.0)
+            return cap
+
+        cap = cluster.run_process(work())
+        assert cluster.tables_consistent()
+        for server in cluster.servers:
+            assert cap.object_number in server.table
+            assert server.cache[cap.object_number] == b"everywhere"
+            assert server.disk.has_extent(server._extent_key(cap.object_number))
+
+    def test_identical_capability_from_any_initiator(self):
+        """All replicas mint the same capability because the check
+        travels in the broadcast."""
+        cluster = make_cluster()
+        client = cluster.add_file_client("c1")
+
+        def work():
+            cap = yield from client.create(b"x")
+            yield cluster.sim.sleep(300.0)
+            return cap
+
+        cap = cluster.run_process(work())
+        checks = {s.table[cap.object_number][0] for s in cluster.servers}
+        assert checks == {cap.check}
+
+    def test_rights_enforced(self):
+        cluster = make_cluster()
+        client = cluster.add_file_client("c1")
+
+        def work():
+            cap = yield from client.create(b"locked")
+            weak = restrict(cap, Rights.READ)
+            data = yield from client.read(weak)
+            assert data == b"locked"
+            try:
+                yield from client.delete(weak)
+            except CapabilityError:
+                return "denied"
+
+        assert cluster.run_process(work()) == "denied"
+
+
+class TestFaultTolerance:
+    def test_survives_replica_crash(self):
+        cluster = make_cluster(seed=5)
+        client = cluster.add_file_client("c1")
+
+        def before():
+            cap = yield from client.create(b"precious")
+            return cap
+
+        cap = cluster.run_process(before())
+        cluster.crash_server(2)
+        cluster.run(until=cluster.sim.now + 2_500.0)
+
+        def after():
+            data = yield from client.read(cap)
+            new = yield from client.create(b"post-crash")
+            return data, new
+
+        data, new_cap = cluster.run_process(after())
+        assert data == b"precious"
+        assert new_cap.object_number > cap.object_number
+
+    def test_no_unreplicated_window(self):
+        """Unlike lazy replication: when create returns, the file is on
+        EVERY live replica's disk (r = 2 made the message stable and
+        each replica stores before the initiator replies... the client
+        can immediately read via any replica)."""
+        cluster = make_cluster(seed=6)
+        client = cluster.add_file_client("c1")
+        kernel = client.rpc._kernel
+
+        def work():
+            cap = yield from client.create(b"durable-now")
+            # Force the read onto each specific replica.
+            results = []
+            for address in cluster.addresses:
+                kernel.port_cache[cluster.config.port] = [address]
+                data = yield from client.read(cap)
+                results.append(data)
+            return results
+
+        results = cluster.run_process(work())
+        assert results == [b"durable-now"] * 3
+
+    def test_restarted_replica_catches_up(self):
+        cluster = make_cluster(seed=7)
+        client = cluster.add_file_client("c1")
+
+        def before():
+            cap = yield from client.create(b"old")
+            return cap
+
+        old_cap = cluster.run_process(before())
+        cluster.crash_server(1)
+        cluster.run(until=cluster.sim.now + 2_500.0)
+
+        def during():
+            cap = yield from client.create(b"while-down")
+            return cap
+
+        new_cap = cluster.run_process(during())
+        cluster.restart_server(1)
+        cluster.run(until=cluster.sim.now + 8_000.0)
+        server = cluster.servers[1]
+        assert server.operational
+        assert old_cap.object_number in server.table
+        assert new_cap.object_number in server.table
+        assert server.cache[new_cap.object_number] == b"while-down"
+
+
+class TestNvramMode:
+    def test_create_much_faster_with_nvram(self):
+        def create_latency(nvram):
+            cluster = make_cluster(nvram=nvram, seed=8)
+            client = cluster.add_file_client("c1")
+            out = {}
+
+            def work():
+                yield from client.create(b"warm")
+                start = cluster.sim.now
+                yield from client.create(b"bench")
+                out["t"] = cluster.sim.now - start
+
+            cluster.run_process(work())
+            return out["t"]
+
+        disk_t = create_latency(False)
+        nvram_t = create_latency(True)
+        assert nvram_t < disk_t * 0.6
+
+    def test_nvram_create_defers_disk(self):
+        cluster = make_cluster(nvram=True, seed=9)
+        client = cluster.add_file_client("c1")
+
+        def work():
+            before = [d.total_ops for d in cluster.disks]
+            yield from client.create(b"logged")
+            after = [d.total_ops for d in cluster.disks]
+            return [b - a for a, b in zip(before, after)]
+
+        assert cluster.run_process(work()) == [0, 0, 0]
+
+    def test_tmp_file_annihilation_at_file_level(self):
+        cluster = make_cluster(nvram=True, seed=10)
+        client = cluster.add_file_client("c1")
+
+        def work():
+            cap = yield from client.create(b"temporary")
+            yield from client.delete(cap)
+            yield cluster.sim.sleep(1_000.0)  # flusher runs
+            return [d.total_ops for d in cluster.disks]
+
+        disk_ops = cluster.run_process(work())
+        assert disk_ops == [0, 0, 0]
+        assert all(
+            (board.stats.annihilations >= 1) for board in cluster.nvrams
+        )
+
+    def test_flushed_files_reach_disk(self):
+        cluster = make_cluster(nvram=True, seed=11)
+        client = cluster.add_file_client("c1")
+
+        def work():
+            cap = yield from client.create(b"keep me")
+            yield cluster.sim.sleep(2_000.0)
+            return cap
+
+        cap = cluster.run_process(work())
+        for server in cluster.servers:
+            assert server.disk.has_extent(server._extent_key(cap.object_number))

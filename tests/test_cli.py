@@ -1,0 +1,23 @@
+"""Tests for the python -m repro command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_fig7_runs_and_reports_success(self, capsys):
+        status = main(["--iterations", "2", "fig7"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "Append-delete" in out
+        assert "claims reproduced" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_seed_flag_changes_nothing_structural(self, capsys):
+        status = main(["--iterations", "2", "--seed", "5", "fig7"])
+        assert status == 0
+        assert "Directory lookup" in capsys.readouterr().out

@@ -1,0 +1,36 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are the public face of the library; these tests keep them
+from rotting as the API evolves. Each runs in-process (they are pure
+simulations) with stdout captured.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} printed nothing"
+    # No example may end in a stack trace or leave an assert unprinted.
+    assert "Traceback" not in out
+
+
+def test_all_six_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert names == {
+        "quickstart",
+        "fault_tolerance_demo",
+        "tmpfile_workload",
+        "nvram_speedup",
+        "capability_tour",
+        "replicated_stack",
+    }

@@ -1,0 +1,107 @@
+"""Unit tests for the consistency checkers."""
+
+from repro.verify import (
+    HistoryRecorder,
+    check_no_lost_updates,
+    check_private_key_history,
+)
+
+
+def record_sequence(history, client, steps):
+    """steps: list of (kind, key, value) applied at increasing times."""
+    for t, (kind, key, value) in enumerate(steps):
+        history.record(client, kind, key, value, float(t), float(t) + 0.5)
+
+
+class TestSessionGuarantees:
+    def test_clean_history_passes(self):
+        h = HistoryRecorder()
+        record_sequence(
+            h,
+            "c1",
+            [
+                ("append", "k", "cap1"),
+                ("lookup", "k", "cap1"),
+                ("delete", "k", None),
+                ("lookup", "k", None),
+            ],
+        )
+        assert check_private_key_history(h) == []
+
+    def test_stale_read_detected(self):
+        h = HistoryRecorder()
+        record_sequence(
+            h,
+            "c1",
+            [
+                ("append", "k", "cap1"),
+                ("delete", "k", None),
+                ("lookup", "k", "cap1"),  # reads back the deleted value!
+            ],
+        )
+        violations = check_private_key_history(h)
+        assert len(violations) == 1
+        assert violations[0].client == "c1"
+        assert violations[0].expected is None
+
+    def test_lost_write_detected(self):
+        h = HistoryRecorder()
+        record_sequence(
+            h,
+            "c1",
+            [("append", "k", "cap1"), ("lookup", "k", None)],
+        )
+        violations = check_private_key_history(h)
+        assert len(violations) == 1
+        assert violations[0].expected == "cap1"
+
+    def test_read_before_any_write_expects_none(self):
+        h = HistoryRecorder()
+        record_sequence(h, "c1", [("lookup", "k", "phantom")])
+        assert len(check_private_key_history(h)) == 1
+        h2 = HistoryRecorder()
+        record_sequence(h2, "c1", [("lookup", "k", None)])
+        assert check_private_key_history(h2) == []
+
+    def test_clients_checked_independently(self):
+        h = HistoryRecorder()
+        record_sequence(h, "good", [("append", "a", "x"), ("lookup", "a", "x")])
+        record_sequence(h, "bad", [("append", "b", "y"), ("lookup", "b", None)])
+        violations = check_private_key_history(h)
+        assert [v.client for v in violations] == ["bad"]
+
+    def test_events_sorted_by_start_time(self):
+        h = HistoryRecorder()
+        # Record out of order; by_client must sort by start time.
+        h.record("c", "lookup", "k", "v", 10.0, 10.5)
+        h.record("c", "append", "k", "v", 1.0, 1.5)
+        assert check_private_key_history(h) == []
+
+
+class TestNoLostUpdates:
+    def test_surviving_append_must_exist(self):
+        h = HistoryRecorder()
+        record_sequence(h, "c", [("append", (1, "name"), "cap")])
+        assert check_no_lost_updates(h, {"name"}) == []
+        problems = check_no_lost_updates(h, set())
+        assert len(problems) == 1 and "missing" in problems[0]
+
+    def test_deleted_name_must_be_absent(self):
+        h = HistoryRecorder()
+        record_sequence(
+            h, "c", [("append", (1, "n"), "cap"), ("delete", (1, "n"), None)]
+        )
+        assert check_no_lost_updates(h, set()) == []
+        problems = check_no_lost_updates(h, {"n"})
+        assert len(problems) == 1 and "still in final state" in problems[0]
+
+    def test_last_writer_wins_across_clients(self):
+        h = HistoryRecorder()
+        h.record("a", "append", (1, "n"), "cap", 0.0, 1.0)
+        h.record("b", "delete", (1, "n"), None, 2.0, 3.0)
+        assert check_no_lost_updates(h, set()) == []
+
+    def test_lookup_events_ignored(self):
+        h = HistoryRecorder()
+        h.record("a", "lookup", (1, "n"), None, 0.0, 1.0)
+        assert check_no_lost_updates(h, set()) == []

@@ -1,0 +1,79 @@
+"""Unit tests for workload metrics."""
+
+import math
+
+import pytest
+
+from repro.workloads import Metrics
+
+
+class TestRecording:
+    def test_basic_record_and_count(self):
+        m = Metrics()
+        m.record("op", 0.0, 5.0)
+        m.record("op", 5.0, 11.0)
+        assert m.count("op") == 2
+        assert m.mean("op") == pytest.approx(5.5)
+
+    def test_window_excludes_warmup(self):
+        m = Metrics(window_start=100.0)
+        m.record("op", 50.0, 60.0)  # before the window: dropped
+        m.record("op", 150.0, 160.0)
+        assert m.count("op") == 1
+
+    def test_window_excludes_overrun(self):
+        m = Metrics(window_start=0.0, window_end=100.0)
+        m.record("op", 90.0, 110.0)  # finishes after the window
+        assert m.count("op") == 0
+
+    def test_errors_counted_separately(self):
+        m = Metrics()
+        m.record_error("op")
+        m.record_error("op")
+        assert m.errors == {"op": 2}
+        assert m.count("op") == 0
+
+    def test_total_count_spans_kinds(self):
+        m = Metrics()
+        m.record("a", 0, 1)
+        m.record("b", 0, 1)
+        assert m.total_count() == 2
+
+
+class TestStatistics:
+    def test_mean_of_empty_is_nan(self):
+        assert math.isnan(Metrics().mean("ghost"))
+
+    def test_percentiles(self):
+        m = Metrics()
+        for i in range(1, 101):
+            m.record("op", 0.0, float(i))
+        assert m.percentile("op", 50) == pytest.approx(50.0, abs=1.0)
+        assert m.percentile("op", 95) == pytest.approx(95.0, abs=1.0)
+        assert math.isnan(m.percentile("ghost", 50))
+
+    def test_stddev(self):
+        m = Metrics()
+        for v in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            m.record("op", 0.0, v)
+        assert m.stddev("op") == pytest.approx(2.138, abs=0.01)
+
+    def test_stddev_single_sample_is_zero(self):
+        m = Metrics()
+        m.record("op", 0.0, 1.0)
+        assert m.stddev("op") == 0.0
+
+    def test_throughput(self):
+        m = Metrics()
+        for i in range(50):
+            m.record("op", i * 10.0, i * 10.0 + 1.0)
+        assert m.throughput_per_second("op", 1_000.0) == pytest.approx(50.0)
+        assert m.throughput_per_second("op", 0.0) == 0.0
+
+    def test_summary_shape(self):
+        m = Metrics()
+        m.record("op", 0.0, 4.0)
+        summary = m.summary(window_ms=1_000.0)
+        assert summary["op"]["count"] == 1
+        assert summary["op"]["mean_ms"] == 4.0
+        assert summary["op"]["per_second"] == pytest.approx(1.0)
