@@ -7,6 +7,7 @@ Usage::
     python -m repro fig9            # update throughput curves
     python -m repro all             # everything above
     python -m repro demo            # the narrated fault-tolerance tour
+    python -m repro chaos --seeds 25   # adversarial chaos suite
 
 Each command prints the measured numbers next to the paper's. For the
 full experiment set (ablations included) run
@@ -86,6 +87,37 @@ def cmd_all(args) -> int:
     return status
 
 
+def cmd_chaos(args) -> int:
+    from repro.chaos import SCENARIOS, format_verdicts, run_suite
+
+    if args.list_scenarios:
+        for scenario in SCENARIOS:
+            tag = "" if scenario.in_rotation else "  [negative, not in rotation]"
+            print(f"{scenario.name:<28}{scenario.description}{tag}")
+        return 0
+    known = {scenario.name for scenario in SCENARIOS}
+    if args.scenario is not None and args.scenario not in known:
+        print(f"error: unknown chaos scenario {args.scenario!r}")
+        print(f"known scenarios: {', '.join(sorted(known))}")
+        return 2
+    verdicts = run_suite(
+        args.seeds,
+        base_seed=args.seed,
+        smoke=args.smoke,
+        only=args.scenario,
+    )
+    print(format_verdicts(verdicts))
+    failures = [v for v in verdicts if not v.ok]
+    if failures:
+        print(f"\n{len(failures)} scenario run(s) FAILED:")
+        for v in failures:
+            for problem in v.problems[:5]:
+                print(f" - seed {v.seed} {v.scenario}: {problem}")
+        return 1
+    print("\nall invariants held (replica equality + session guarantees).")
+    return 0
+
+
 def cmd_demo(args) -> int:
     import pathlib
     import runpy
@@ -111,8 +143,29 @@ def main(argv=None) -> int:
         "--iterations", type=int, default=12, help="samples per Fig. 7 cell"
     )
     parser.add_argument(
+        "--seeds",
+        type=int,
+        default=10,
+        help="chaos: number of seeded scenario runs",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="chaos: shorter windows and fewer clients (CI smoke)",
+    )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        help="chaos: run only this scenario instead of the rotation",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="chaos: list registered scenarios and exit",
+    )
+    parser.add_argument(
         "command",
-        choices=["fig7", "fig8", "fig9", "all", "demo"],
+        choices=["fig7", "fig8", "fig9", "all", "demo", "chaos"],
         help="which artifact to regenerate",
     )
     args = parser.parse_args(argv)
@@ -122,6 +175,7 @@ def main(argv=None) -> int:
         "fig9": cmd_fig9,
         "all": cmd_all,
         "demo": cmd_demo,
+        "chaos": cmd_chaos,
     }[args.command]
     return handler(args)
 

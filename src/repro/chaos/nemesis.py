@@ -1,0 +1,209 @@
+"""Protocol-aware adversarial fault schedules (the nemesis).
+
+:class:`~repro.faults.plan.RandomFaultPlan` injects faults at random
+instants; real protocol bugs hide at *protocol-critical* moments — the
+sequencer dying with uncommitted messages in flight, a partition
+forming while a replica is mid-recovery, a server crashing again
+before its restart finishes. Each builder here returns a
+:class:`~repro.faults.plan.FaultPlan` aimed at one such moment, using
+:class:`~repro.faults.plan.Intervention` events to inspect *live*
+protocol state at fire time (e.g. "whoever is sequencer right now").
+
+Every builder has the same signature::
+
+    build(cluster, rng, start_ms, window_ms) -> FaultPlan
+
+where *rng* is a named-stream handle (``random.Random``-like) owned by
+the caller, *start_ms* is the absolute simulated time faults may begin,
+and the plan is guaranteed to leave the world repaired (all servers
+restarted, partitions healed) before ``start_ms + window_ms`` so the
+invariant checks run against a recoverable deployment.
+
+The builders are registered in :data:`NEMESES`; link-fault scenarios
+(drop/duplicate/reorder policies) live in :mod:`repro.chaos.runner`
+because they parameterize the cluster rather than schedule events.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import FaultPlan
+
+#: Name -> builder registry (filled by the ``@nemesis`` decorator).
+NEMESES: dict = {}
+
+
+def nemesis(name: str):
+    def register(fn):
+        NEMESES[name] = fn
+        return fn
+
+    return register
+
+
+def build_nemesis(name: str, cluster, rng, start_ms: float, window_ms: float):
+    """Build (but do not arm) the named nemesis plan."""
+    return NEMESES[name](cluster, rng, start_ms, window_ms)
+
+
+# ----------------------------------------------------------------------
+# live-state probes
+# ----------------------------------------------------------------------
+
+
+def sequencer_index(cluster) -> int | None:
+    """Index of the server that currently believes it is sequencer.
+
+    Falls back to the lowest-index alive server when no member claims
+    the role (mid-reset), and None when everything is down.
+    """
+    fallback = None
+    for i, server in enumerate(cluster.servers):
+        if server is None or not server.alive:
+            continue
+        if fallback is None:
+            fallback = i
+        member = getattr(server, "member", None)
+        if member is not None and member.is_sequencer:
+            return i
+    return fallback
+
+
+def _crash_current_sequencer(cell: dict):
+    """An intervention fn: crash the live sequencer, remembering who."""
+
+    def fire(cluster):
+        index = sequencer_index(cluster)
+        if index is None:
+            return "crash sequencer: nobody alive (no-op)"
+        cluster.crash_server(index)
+        cell["crashed"] = index
+        return f"crash sequencer (server {index})"
+
+    return fire
+
+
+def _restart_remembered(cell: dict):
+    def fire(cluster):
+        index = cell.pop("crashed", None)
+        if index is None:
+            return "restart: nothing crashed (no-op)"
+        cluster.restart_server(index)
+        return f"restart server {index}"
+
+    return fire
+
+
+# ----------------------------------------------------------------------
+# scenarios
+# ----------------------------------------------------------------------
+
+
+@nemesis("sequencer_crash")
+def sequencer_crash(cluster, rng, start_ms, window_ms) -> FaultPlan:
+    """Kill whoever is sequencer — twice — while broadcasts are in
+    flight, forcing reset + sequencer handover with uncommitted
+    messages in the pipe (the paper's §4 worst case)."""
+    plan = FaultPlan()
+    n_hits = 2 if window_ms >= 24_000.0 else 1
+    slot = (window_ms - 10_000.0) / n_hits
+    for hit in range(n_hits):
+        cell: dict = {}
+        t0 = start_ms + hit * slot + rng.uniform(0.0, slot * 0.3)
+        dwell = rng.uniform(2_500.0, 4_500.0)
+        plan.intervene(t0, "crash sequencer", _crash_current_sequencer(cell))
+        plan.intervene(t0 + dwell, "restart sequencer", _restart_remembered(cell))
+    return plan
+
+
+@nemesis("partition_during_recovery")
+def partition_during_recovery(cluster, rng, start_ms, window_ms) -> FaultPlan:
+    """Crash a replica, then partition it away *while it is running
+    the Fig. 6 recovery protocol*, then heal. The recovering server
+    must neither serve stale state nor wedge the majority."""
+    n = len(cluster.sites)
+    victim = rng.randrange(n)
+    rest = [i for i in range(n) if i != victim]
+    t0 = start_ms + rng.uniform(0.0, 2_000.0)
+    restart_at = t0 + rng.uniform(2_000.0, 3_000.0)
+    # The recovery exchange starts immediately after restart; cut the
+    # network within its first second.
+    partition_at = restart_at + rng.uniform(100.0, 900.0)
+    heal_at = partition_at + rng.uniform(3_000.0, 6_000.0)
+    return (
+        FaultPlan()
+        .crash(t0, victim)
+        .restart(restart_at, victim)
+        .partition(partition_at, rest, [victim])
+        .heal(heal_at)
+    )
+
+
+@nemesis("crash_during_restart")
+def crash_during_restart(cluster, rng, start_ms, window_ms) -> FaultPlan:
+    """Crash a replica again in the middle of its own recovery (the
+    crashed-during-recovery rule of §3.2), then let it come back."""
+    n = len(cluster.sites)
+    victim = rng.randrange(n)
+    t0 = start_ms + rng.uniform(0.0, 2_000.0)
+    first_restart = t0 + rng.uniform(1_500.0, 2_500.0)
+    recrash = first_restart + rng.uniform(50.0, 800.0)  # mid-recovery
+    final_restart = recrash + rng.uniform(2_000.0, 3_000.0)
+    return (
+        FaultPlan()
+        .crash(t0, victim)
+        .restart(first_restart, victim)
+        .crash(recrash, victim)
+        .restart(final_restart, victim)
+    )
+
+
+@nemesis("flapping_links")
+def flapping_links(cluster, rng, start_ms, window_ms) -> FaultPlan:
+    """Rapidly isolate-and-heal one replica at a time. Short asymmetric
+    connectivity windows stress failure detection: views churn, but a
+    majority partition exists at every instant."""
+    plan = FaultPlan()
+    n = len(cluster.sites)
+    t = start_ms
+    budget_end = start_ms + window_ms - 8_000.0
+    while t < budget_end:
+        victim = rng.randrange(n)
+        rest = [i for i in range(n) if i != victim]
+        hold = rng.uniform(300.0, 1_800.0)
+        gap = rng.uniform(1_500.0, 3_500.0)
+        plan.partition(t, rest, [victim])
+        plan.heal(t + hold)
+        t += hold + gap
+    return plan
+
+
+@nemesis("random_soak")
+def random_soak(cluster, rng, start_ms, window_ms) -> FaultPlan:
+    """The classic recoverable random schedule, as a nemesis peer."""
+    from repro.faults.plan import RandomFaultPlan
+
+    n = len(cluster.sites)
+    return RandomFaultPlan(
+        rng,
+        n,
+        (start_ms, start_ms + window_ms - 10_000.0),
+        events=6,
+        max_down=(n - 1) // 2,
+    )
+
+
+@nemesis("majority_lost")
+def majority_lost(cluster, rng, start_ms, window_ms) -> FaultPlan:
+    """UNRECOVERABLE on purpose: crash a majority and leave it down.
+
+    The correct behaviour is *unavailability* — survivors refuse
+    every request rather than serve potentially stale state. Used by
+    the negative tests; excluded from the default suite rotation.
+    """
+    plan = FaultPlan()
+    n = len(cluster.sites)
+    doomed = (n // 2) + 1
+    t = start_ms + rng.uniform(1_000.0, 3_000.0)
+    for index in range(doomed):
+        plan.crash(t + index * 200.0, index)
+    return plan

@@ -1,0 +1,494 @@
+"""Seeded chaos scenarios + the invariant bridge.
+
+One *scenario* = a deployment (group or RPC directory service), a
+client workload on private keys, and an adversarial fault schedule —
+nemesis events (:mod:`repro.chaos.nemesis`), link-fault policies
+(:mod:`repro.net.policy`), or both. :func:`run_scenario` drives it to
+quiescence and checks the paper's correctness stand-ins via
+:mod:`repro.verify`:
+
+* replica equality across operational replicas;
+* session guarantees (read-your-writes / monotonic reads) per client;
+* no lost acknowledged updates against the final listing.
+
+Outcomes are *verdicts*, not asserts: ``consistent`` (service stayed
+available and every invariant holds), ``unavailable`` (fewer than a
+majority operational — correct for unrecoverable scenarios, a failure
+for recoverable ones), or ``violation``. ``python -m repro chaos``
+runs seeds round-robin over the registry and exits non-zero on any
+unexpected verdict.
+
+Clients follow the paper's caveat that operations are not
+failure-free: after an ambiguous error they re-read the key (out-
+waiting the RPC retry horizon) and adopt reality before continuing,
+exactly like the soak tests in ``tests/integration/test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.chaos.nemesis import build_nemesis
+from repro.errors import ReproError, SimulationError
+from repro.faults.plan import FaultPlan
+from repro.net.policy import Drop, Duplicate, Delay, LinkFilter, Reorder
+from repro.verify import HistoryRecorder, InvariantReport, check_cluster
+
+#: Simulated ms of fault-free tail after the fault window, long enough
+#: to out-wait client RPC retries, recovery, and lazy replication.
+SETTLE_MS = 30_000.0
+#: Faults begin this long after the cluster reports operational.
+WARMUP_MS = 2_000.0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named chaos scenario."""
+
+    name: str
+    description: str
+    #: (cluster, rng, start_ms, window_ms) -> FaultPlan (unarmed).
+    build: Callable
+    #: "group" | "rpc" — which directory service to deploy.
+    cluster_kind: str = "group"
+    #: Whether the service must end the run serving (majority up).
+    expect_available: bool = True
+    window_ms: float = 30_000.0
+    n_servers: int = 3
+    n_clients: int = 3
+    #: Scenarios excluded from the default seed rotation (negative
+    #: tests that deliberately destroy the majority).
+    in_rotation: bool = True
+
+
+@dataclass
+class ScenarioVerdict:
+    """Structured outcome of one seeded scenario run."""
+
+    scenario: str
+    seed: int
+    status: str  # "consistent" | "unavailable" | "violation" | "error"
+    ok: bool  # status matches the scenario's expectation
+    expected_available: bool
+    problems: list[str] = field(default_factory=list)
+    report: InvariantReport | None = None
+    fault_log: list = field(default_factory=list)
+    net_stats: dict = field(default_factory=dict)
+    fingerprints: tuple = ()
+    simulated_ms: float = 0.0
+
+
+# ----------------------------------------------------------------------
+# link-fault scenario builders (policies riding on a FaultPlan)
+# ----------------------------------------------------------------------
+
+
+def _policy_plan(start_ms: float, window_ms: float, policies) -> FaultPlan:
+    """Install policies at the window start, remove them 8 s before the
+    end so retransmissions drain and replicas converge while the
+    workload is still running."""
+    plan = FaultPlan()
+    off_at = start_ms + window_ms - 8_000.0
+    for policy in policies:
+        plan.install_policy(start_ms, policy)
+        plan.remove_policy(off_at, policy)
+    return plan
+
+
+def _dir_addresses(cluster) -> list:
+    return [site.dir_address for site in cluster.sites]
+
+
+def build_asymmetric_loss(cluster, rng, start_ms, window_ms) -> FaultPlan:
+    """≥10 % one-directional loss on two directed server links (the
+    reverse directions stay clean), all frame kinds affected."""
+    addrs = _dir_addresses(cluster)
+    a, b = rng.sample(range(len(addrs)), 2)
+    policies = [
+        Drop(
+            "chaos.asym.ab",
+            LinkFilter(src=addrs[a], dst=addrs[b]),
+            probability=0.15,
+        ),
+        Drop(
+            "chaos.asym.bc",
+            LinkFilter(src=addrs[b], dst=addrs[(b + 1) % len(addrs)]),
+            probability=0.10,
+        ),
+    ]
+    return _policy_plan(start_ms, window_ms, policies)
+
+
+def build_multicast_loss(cluster, rng, start_ms, window_ms) -> FaultPlan:
+    """One member misses 15 % of group multicasts (everyone else
+    receives them) — the classic gap-repair stressor."""
+    victim = rng.choice(_dir_addresses(cluster))
+    policies = [
+        Drop(
+            "chaos.mcast",
+            LinkFilter(dst=victim, kind="grp.*", multicast=True),
+            probability=0.15,
+        )
+    ]
+    return _policy_plan(start_ms, window_ms, policies)
+
+
+def build_duplication(cluster, rng, start_ms, window_ms) -> FaultPlan:
+    """25 % of deliveries arrive twice (tests request/broadcast dedup
+    and at-most-once reply handling)."""
+    policies = [Duplicate("chaos.dup", probability=0.25)]
+    return _policy_plan(start_ms, window_ms, policies)
+
+
+def build_reordering(cluster, rng, start_ms, window_ms) -> FaultPlan:
+    """35 % of deliveries may be overtaken by up to 15 ms of later
+    traffic (bounded reordering)."""
+    policies = [Reorder("chaos.reorder", probability=0.35, max_delay_ms=15.0)]
+    return _policy_plan(start_ms, window_ms, policies)
+
+
+def build_delay_spikes(cluster, rng, start_ms, window_ms) -> FaultPlan:
+    """Occasional 20–80 ms stalls — long enough to trip heartbeat
+    timeouts now and then, forcing spurious failure detection."""
+    policies = [
+        Delay("chaos.spike", probability=0.04, min_ms=20.0, max_ms=80.0)
+    ]
+    return _policy_plan(start_ms, window_ms, policies)
+
+
+def build_grand_tour(cluster, rng, start_ms, window_ms) -> FaultPlan:
+    """Everything at once, mildly: random crash/partition schedule on
+    top of low-grade loss, duplication, and reordering."""
+    addrs = _dir_addresses(cluster)
+    a, b = rng.sample(range(len(addrs)), 2)
+    policies = [
+        Drop(
+            "chaos.tour.drop",
+            LinkFilter(src=addrs[a], dst=addrs[b]),
+            probability=0.08,
+        ),
+        Duplicate("chaos.tour.dup", probability=0.08),
+        Reorder("chaos.tour.reorder", probability=0.10, max_delay_ms=10.0),
+    ]
+    plan = build_nemesis("random_soak", cluster, rng, start_ms, window_ms)
+    for event in _policy_plan(start_ms, window_ms, policies).events:
+        plan.add(event)
+    return plan
+
+
+def _nemesis_builder(name: str):
+    def build(cluster, rng, start_ms, window_ms):
+        return build_nemesis(name, cluster, rng, start_ms, window_ms)
+
+    return build
+
+
+SCENARIOS: list[Scenario] = [
+    Scenario(
+        "sequencer_crash",
+        "crash whoever is sequencer, mid-broadcast, twice",
+        _nemesis_builder("sequencer_crash"),
+    ),
+    Scenario(
+        "asymmetric_loss",
+        "≥10% one-directional loss on two server links",
+        build_asymmetric_loss,
+    ),
+    Scenario(
+        "partition_during_recovery",
+        "partition a replica while it runs Fig. 6 recovery",
+        _nemesis_builder("partition_during_recovery"),
+    ),
+    Scenario(
+        "duplication",
+        "25% of deliveries duplicated",
+        build_duplication,
+    ),
+    Scenario(
+        "crash_during_restart",
+        "re-crash a replica in the middle of its recovery",
+        _nemesis_builder("crash_during_restart"),
+    ),
+    Scenario(
+        "reordering",
+        "bounded reordering on 35% of deliveries",
+        build_reordering,
+    ),
+    Scenario(
+        "multicast_loss",
+        "one member misses 15% of group multicasts",
+        build_multicast_loss,
+    ),
+    Scenario(
+        "flapping_links",
+        "rapid isolate/heal cycles against single replicas",
+        _nemesis_builder("flapping_links"),
+    ),
+    Scenario(
+        "delay_spikes",
+        "20–80 ms latency spikes on 4% of deliveries",
+        build_delay_spikes,
+    ),
+    Scenario(
+        "random_soak",
+        "seeded random crash/restart/partition schedule",
+        _nemesis_builder("random_soak"),
+    ),
+    Scenario(
+        "grand_tour",
+        "random faults + mild loss + duplication + reordering",
+        build_grand_tour,
+    ),
+    Scenario(
+        "rpc_dup_reorder",
+        "RPC baseline under duplication + bounded reordering",
+        lambda cluster, rng, start, window: _policy_plan(
+            start,
+            window,
+            [
+                Duplicate("chaos.rpc.dup", probability=0.15),
+                Reorder("chaos.rpc.reorder", probability=0.20, max_delay_ms=10.0),
+            ],
+        ),
+        cluster_kind="rpc",
+        n_clients=2,
+    ),
+    Scenario(
+        "majority_lost",
+        "NEGATIVE: crash a majority and leave it down — the correct "
+        "outcome is detected unavailability, not stale answers",
+        _nemesis_builder("majority_lost"),
+        expect_available=False,
+        window_ms=20_000.0,
+        n_clients=2,
+        in_rotation=False,
+    ),
+]
+
+
+def scenario_by_name(name: str) -> Scenario:
+    for scenario in SCENARIOS:
+        if scenario.name == name:
+            return scenario
+    raise KeyError(f"unknown chaos scenario {name!r}")
+
+
+def rotation() -> list[Scenario]:
+    return [s for s in SCENARIOS if s.in_rotation]
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+
+
+def _build_cluster(scenario: Scenario, seed: int):
+    if scenario.cluster_kind == "rpc":
+        from repro.cluster import RpcServiceCluster
+
+        return RpcServiceCluster(name=f"chaos{seed}", seed=seed)
+    from repro.cluster import GroupServiceCluster
+
+    return GroupServiceCluster(
+        name=f"chaos{seed}",
+        seed=seed,
+        n_servers=scenario.n_servers,
+        resilience=scenario.n_servers - 1,
+    )
+
+
+def _majority(cluster) -> int:
+    return len(cluster.servers) // 2 + 1
+
+
+def run_scenario(
+    scenario: Scenario, seed: int, smoke: bool = False
+) -> ScenarioVerdict:
+    """Run one seeded scenario end to end and return its verdict."""
+    window_ms = scenario.window_ms * (0.6 if smoke else 1.0)
+    n_clients = min(scenario.n_clients, 2) if smoke else scenario.n_clients
+    try:
+        return _run(scenario, seed, window_ms, n_clients)
+    except Exception as exc:  # harness bug or simulated deadlock
+        return ScenarioVerdict(
+            scenario=scenario.name,
+            seed=seed,
+            status="error",
+            ok=False,
+            expected_available=scenario.expect_available,
+            problems=[f"{type(exc).__name__}: {exc}"],
+        )
+
+
+def _run(scenario: Scenario, seed: int, window_ms: float, n_clients: int):
+    cluster = _build_cluster(scenario, seed)
+    cluster.start()
+    cluster.wait_operational()
+    sim = cluster.sim
+    root = cluster.root_capability
+    history = HistoryRecorder()
+    start = sim.now
+    deadline = start + window_ms
+    hard_deadline = deadline + SETTLE_MS * 0.8
+
+    rng = sim.rng.stream(f"chaos.{scenario.name}")
+    plan = scenario.build(cluster, rng, start + WARMUP_MS, window_ms)
+    plan.arm(cluster)
+
+    def client_loop(tag):
+        client = cluster.add_client(tag)
+        crng = sim.rng.stream(f"chaos.client.{tag}")
+        target = None
+        while target is None and sim.now < deadline:
+            try:
+                target = yield from client.create_dir()
+            except ReproError:
+                yield sim.sleep(250.0)
+        counter = 0
+        while target is not None and sim.now < deadline:
+            name = f"{tag}-{counter % 5}"
+            key = (1, name)
+            kind = crng.choice(["append", "delete", "lookup", "lookup"])
+            t0 = sim.now
+            try:
+                if kind == "append":
+                    yield from client.append_row(root, name, (target,))
+                    history.record(tag, "append", key, target, t0, sim.now)
+                elif kind == "delete":
+                    yield from client.delete_row(root, name)
+                    history.record(tag, "delete", key, None, t0, sim.now)
+                else:
+                    value = yield from client.lookup(root, name)
+                    history.record(tag, "lookup", key, value, t0, sim.now)
+            except ReproError:
+                # Ambiguous: the op may or may not have executed (and a
+                # queued duplicate may still execute later). Out-wait
+                # the retry horizon, then adopt the key's actual state.
+                settled = yield from _resync(client, key, name, tag)
+                if not settled:
+                    return tag  # service gone (majority-lost scenarios)
+            counter += 1
+        return tag
+
+    def _resync(client, key, name, tag):
+        yield sim.sleep(12_000.0)
+        while sim.now < hard_deadline:
+            try:
+                value = yield from client.lookup(root, name)
+            except ReproError:
+                yield sim.sleep(300.0)
+                continue
+            if value is None:
+                history.record(tag, "delete", key, None, sim.now, sim.now)
+            else:
+                history.record(tag, "append", key, value, sim.now, sim.now)
+            return True
+        return False
+
+    processes = [
+        sim.spawn(client_loop(f"c{i}"), f"chaos-client-{i}")
+        for i in range(n_clients)
+    ]
+    cluster.run(until=deadline + SETTLE_MS)
+    problems: list[str] = []
+    if not all(p.resolved for p in processes):
+        problems.append("a chaos client hung past the settle window")
+
+    if scenario.expect_available:
+        try:
+            cluster.wait_operational(timeout_ms=60_000.0)
+        except SimulationError as exc:
+            problems.append(f"service did not re-form: {exc}")
+    if scenario.cluster_kind == "rpc":
+        cluster.settle(2_000.0)  # drain lazy replication
+
+    operational = cluster.operational_servers()
+    available = len(operational) >= _majority(cluster)
+    final_names = None
+    if operational:
+        final_names = set(operational[0].state.directories[1].names())
+    report = check_cluster(
+        cluster, history, final_names if available else None
+    )
+    problems.extend(report.problems())
+
+    if scenario.expect_available:
+        if not available:
+            status = "unavailable"
+            ok = False
+        elif problems:
+            status = "violation"
+            ok = False
+        else:
+            status = "consistent"
+            ok = True
+    else:
+        # Negative scenario: the service must refuse, and whatever was
+        # served before the blackout must still honour the session
+        # guarantees — detected unavailability, never stale data.
+        if available:
+            status = "consistent"
+            ok = False
+            problems.append(
+                "scenario destroyed the majority yet the service kept serving"
+            )
+        elif problems:
+            status = "violation"
+            ok = False
+        else:
+            status = "unavailable"
+            ok = True
+
+    fingerprints = tuple(
+        s.state.fingerprint()
+        for s in operational
+        if hasattr(s.state, "fingerprint")
+    )
+    return ScenarioVerdict(
+        scenario=scenario.name,
+        seed=seed,
+        status=status,
+        ok=ok,
+        expected_available=scenario.expect_available,
+        problems=problems,
+        report=report,
+        fault_log=list(plan.log),
+        net_stats=cluster.network.stats.full_snapshot(),
+        fingerprints=fingerprints,
+        simulated_ms=sim.now,
+    )
+
+
+def run_suite(
+    seeds: int,
+    base_seed: int = 0,
+    smoke: bool = False,
+    only: str | None = None,
+) -> list[ScenarioVerdict]:
+    """Run *seeds* scenario instances, round-robin over the rotation
+    (or *only* the named scenario), with seeds base_seed..base_seed+N-1."""
+    chosen = [scenario_by_name(only)] if only else rotation()
+    verdicts = []
+    for i in range(seeds):
+        scenario = chosen[i % len(chosen)]
+        verdicts.append(run_scenario(scenario, base_seed + i, smoke=smoke))
+    return verdicts
+
+
+def format_verdicts(verdicts: list[ScenarioVerdict]) -> str:
+    lines = [
+        f"{'seed':>6}  {'scenario':<28}{'verdict':<14}{'faults':>7}"
+        f"  {'up':>3}  problems"
+    ]
+    for v in verdicts:
+        up = "-" if v.report is None else str(v.report.operational)
+        lines.append(
+            f"{v.seed:>6}  {v.scenario:<28}"
+            f"{v.status + ('' if v.ok else ' (!)'):<14}"
+            f"{len(v.fault_log):>7}  {up:>3}  "
+            + ("; ".join(v.problems[:2]) if v.problems else "-")
+        )
+    passed = sum(1 for v in verdicts if v.ok)
+    lines.append(f"{passed}/{len(verdicts)} scenario runs passed")
+    return "\n".join(lines)

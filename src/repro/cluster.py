@@ -93,12 +93,38 @@ class BaseCluster:
         latency: LatencyModel | None = None,
         sim: Simulator | None = None,
         network: Network | None = None,
+        loss_probability: float = 0.0,
+        link_policies=None,
     ):
         self.name = name
         self.sim = sim or Simulator(seed=seed)
         self.latency = latency or LatencyModel.paper_testbed()
-        self.network = network or Network(self.sim, self.latency)
+        if network is None:
+            network = Network(
+                self.sim,
+                self.latency,
+                loss_probability=loss_probability,
+                link_policies=link_policies,
+            )
+        elif loss_probability or link_policies:
+            raise SimulationError(
+                "pass loss_probability/link_policies on the shared Network, "
+                "not on a cluster that reuses one"
+            )
+        self.network = network
         self.clients: dict[str, DirectoryClient] = {}
+
+    # -- adversarial link faults (see repro.net.policy) -----------------
+
+    def add_link_policy(self, policy):
+        """Install a link-fault policy on this deployment's network."""
+        return self.network.add_policy(policy)
+
+    def remove_link_policy(self, policy) -> None:
+        self.network.remove_policy(policy)
+
+    def clear_link_policies(self) -> None:
+        self.network.clear_policies()
 
     def add_client(
         self, client_name: str, rpc_timings: RpcTimings | None = None
@@ -209,9 +235,13 @@ class GroupServiceCluster(BaseCluster):
         config: ServiceConfig | None = None,
         sim: Simulator | None = None,
         network: Network | None = None,
+        loss_probability: float = 0.0,
+        link_policies=None,
         **config_overrides,
     ):
-        super().__init__(name, seed, latency, sim, network)
+        super().__init__(
+            name, seed, latency, sim, network, loss_probability, link_policies
+        )
         self.sites = [Site(self, i) for i in range(n_servers)]
         if config is None:
             config = ServiceConfig(
@@ -359,9 +389,13 @@ class RpcServiceCluster(BaseCluster):
         config: ServiceConfig | None = None,
         sim: Simulator | None = None,
         network: Network | None = None,
+        loss_probability: float = 0.0,
+        link_policies=None,
         **config_overrides,
     ):
-        super().__init__(name, seed, latency, sim, network)
+        super().__init__(
+            name, seed, latency, sim, network, loss_probability, link_policies
+        )
         self.sites = [Site(self, i) for i in range(2)]
         if config is None:
             config = ServiceConfig(
@@ -433,6 +467,14 @@ class RpcServiceCluster(BaseCluster):
         }
         return len(fingerprints) <= 1
 
+    # Uniform verification surface (repro.verify / repro.chaos): for
+    # the RPC design "consistent" can only mean content-consistent.
+    def operational_servers(self):
+        return [s for s in self.servers if s is not None and s.operational]
+
+    def replicas_consistent(self) -> bool:
+        return self.replicas_content_consistent()
+
 
 class ReplicatedBulletCluster(BaseCluster):
     """The section-5 extension: the Bullet file service itself
@@ -447,8 +489,12 @@ class ReplicatedBulletCluster(BaseCluster):
         latency: LatencyModel | None = None,
         sim: Simulator | None = None,
         network: Network | None = None,
+        loss_probability: float = 0.0,
+        link_policies=None,
     ):
-        super().__init__(name, seed, latency, sim, network)
+        super().__init__(
+            name, seed, latency, sim, network, loss_probability, link_policies
+        )
         from repro.storage.nvram import Nvram
         from repro.storage.replicated_bullet import (
             ReplicatedBulletConfig,
@@ -538,9 +584,13 @@ class NfsServiceCluster(BaseCluster):
         latency: LatencyModel | None = None,
         sim: Simulator | None = None,
         network: Network | None = None,
+        loss_probability: float = 0.0,
+        link_policies=None,
         **config_overrides,
     ):
-        super().__init__(name, seed, latency, sim, network)
+        super().__init__(
+            name, seed, latency, sim, network, loss_probability, link_policies
+        )
         from repro.directory.nfs_server import NfsDirectoryServer, NfsFileServer
 
         self.server_address = f"{name}.server"

@@ -9,22 +9,30 @@ schedules for property-style soak testing.
 
 from repro.faults.plan import (
     Crash,
+    DiskFailure,
     DiskFailure_,
     FaultEvent,
     FaultPlan,
     Heal,
+    InstallLinkPolicy,
+    Intervention,
     Partition,
     RandomFaultPlan,
+    RemoveLinkPolicy,
     Restart,
 )
 
 __all__ = [
     "Crash",
-    "DiskFailure_",
+    "DiskFailure",
+    "DiskFailure_",  # deprecated alias
     "FaultEvent",
     "FaultPlan",
     "Heal",
+    "InstallLinkPolicy",
+    "Intervention",
     "Partition",
     "RandomFaultPlan",
+    "RemoveLinkPolicy",
     "Restart",
 ]

@@ -71,7 +71,7 @@ class Heal(FaultEvent):
 
 
 @dataclass(frozen=True)
-class DiskFailure_(FaultEvent):
+class DiskFailure(FaultEvent):
     """Head crash of one site's disk (data irrecoverably lost)."""
 
     site: int = 0
@@ -79,6 +79,49 @@ class DiskFailure_(FaultEvent):
     def apply(self, cluster) -> str:
         cluster.sites[self.site].disk.fail()
         return f"disk failure at site {self.site}"
+
+
+#: Deprecated alias (pre-1.0 name); use :class:`DiskFailure`.
+DiskFailure_ = DiskFailure
+
+
+@dataclass(frozen=True)
+class InstallLinkPolicy(FaultEvent):
+    """Insert a :class:`~repro.net.policy.LinkPolicy` into the
+    network's interceptor chain (adversarial message faults)."""
+
+    policy: Any = None
+
+    def apply(self, cluster) -> str:
+        cluster.network.add_policy(self.policy)
+        return f"install link policy {self.policy.name!r}"
+
+
+@dataclass(frozen=True)
+class RemoveLinkPolicy(FaultEvent):
+    """Remove a link policy (by name or instance) from the chain."""
+
+    policy: Any = None
+
+    def apply(self, cluster) -> str:
+        cluster.network.remove_policy(self.policy)
+        name = getattr(self.policy, "name", self.policy)
+        return f"remove link policy {name!r}"
+
+
+@dataclass(frozen=True)
+class Intervention(FaultEvent):
+    """A dynamic fault: *fn(cluster)* runs at fire time and may inspect
+    live protocol state (e.g. crash whichever server is currently the
+    sequencer). *fn* returns the log description, or None to use
+    *label*. The nemesis scenarios are built from these."""
+
+    label: str = "intervention"
+    fn: Any = None
+
+    def apply(self, cluster) -> str:
+        result = self.fn(cluster)
+        return result if isinstance(result, str) else self.label
 
 
 @dataclass
@@ -103,6 +146,18 @@ class FaultPlan:
 
     def heal(self, at_ms: float) -> "FaultPlan":
         return self.add(Heal(at_ms))
+
+    def disk_failure(self, at_ms: float, site: int) -> "FaultPlan":
+        return self.add(DiskFailure(at_ms, site))
+
+    def install_policy(self, at_ms: float, policy) -> "FaultPlan":
+        return self.add(InstallLinkPolicy(at_ms, policy))
+
+    def remove_policy(self, at_ms: float, policy) -> "FaultPlan":
+        return self.add(RemoveLinkPolicy(at_ms, policy))
+
+    def intervene(self, at_ms: float, label: str, fn) -> "FaultPlan":
+        return self.add(Intervention(at_ms, label, fn))
 
     def arm(self, cluster) -> None:
         """Schedule every event on the cluster's simulator clock.

@@ -103,6 +103,9 @@ class GroupKernel:
         self.pending_sends: dict[tuple, PendingSend] = {}
         self._next_msg_number = 0
         self._next_instance = 0
+        #: Distinguishes this kernel from pre-crash kernels at the same
+        #: address (restarts happen at a later simulated instant).
+        self._epoch = self.sim.now
 
         # Failure detection.
         self.last_heartbeat = 0.0
@@ -228,8 +231,15 @@ class GroupKernel:
     # ------------------------------------------------------------------
 
     def new_msg_id(self) -> tuple:
+        """Message ids must be unique across this machine's *lifetimes*:
+        after a crash + restart the counter starts over, but peers may
+        still hold dedup entries from the previous incarnation of this
+        machine — a reused (address, n) pair would make the sequencer
+        silently swallow a brand-new message as a "duplicate" and let
+        the sender's watchdog resolve against the old assignment. The
+        kernel's creation time disambiguates restarts."""
         self._next_msg_number += 1
-        return (self.me, self._next_msg_number)
+        return (self.me, self._epoch, self._next_msg_number)
 
     def submit(self, payload: Any, size: int) -> Future:
         """Start one SendToGroup; future resolves with the assigned
@@ -694,6 +704,7 @@ class GroupKernel:
 
     def _adopt_view(self, payload: dict) -> None:
         joining = payload.get("joiner") == self.me and self.state != STATE_MEMBER
+        instance_changed = payload["instance"] != self.instance
         self.instance = payload["instance"]
         self.incarnation = payload["inc"]
         self.view = list(payload["view"])
@@ -704,6 +715,11 @@ class GroupKernel:
             self.history.clear()
             self.sequenced_ids.clear()
             self.received = self.committed = self.taken = base
+        elif instance_changed:
+            # A reset formed a new instance: our above-gap speculation
+            # from the old one must go before the tail installs, or it
+            # would shadow the new instance's records at reused seqnos.
+            self._drop_speculation()
         for record in payload.get("tail") or []:
             if record.seqno not in self.history:
                 self.history[record.seqno] = record
@@ -737,6 +753,23 @@ class GroupKernel:
                 self._transmit_request(pending)
         self._after_commit_advance()
         self.wakeup.notify_all()
+
+    def _drop_speculation(self) -> None:
+        """Discard uncommitted above-gap records at an instance boundary.
+
+        A reset restarts seqno assignment at ``received + 1``, so
+        records buffered beyond a gap in the *old* instance would
+        collide with the new instance's assignments — ``_on_bc`` would
+        keep the stale record, and its ``sequenced_ids`` entry would
+        let ``_after_commit_advance`` resolve a send against a dead
+        message. Dropping them is safe: nothing above the contiguous
+        horizon was committed, and senders re-submit unfinished sends
+        after every view change.
+        """
+        stale = [s for s in self.history if s > self.received]
+        for seqno in stale:
+            record = self.history.pop(seqno)
+            self.sequenced_ids.pop(record.msg_id, None)
 
     # ------------------------------------------------------------------
     # reset (coordinator arbitration + vote collection)
@@ -834,6 +867,7 @@ class GroupKernel:
                     self.history[record.seqno] = record
                     self.sequenced_ids[record.msg_id] = record.seqno
         self._advance_received()
+        self._drop_speculation()
         cand_inc = key[0]
         # A reset forms a NEW group instance: two disjoint survivor
         # sets (e.g. the two sides of a partition) must never produce

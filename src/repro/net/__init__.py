@@ -7,9 +7,38 @@ that: point-to-point frames, true multicast/broadcast frames, clean
 network partitions (any two nodes in the same partition communicate;
 across partitions nothing does), per-packet loss injection, and
 counters used by the message-count benchmarks.
+
+Adversarial link faults — asymmetric drop, per-receiver multicast
+loss, duplication, bounded reordering, delay spikes — are injected via
+the :mod:`repro.net.policy` interceptor chain (``network.add_policy``).
 """
 
-from repro.net.network import BROADCAST, Network, Nic, Packet
+from repro.net.network import BROADCAST, Network, NetworkStats, Nic, Packet
 from repro.net.partition import PartitionController
+from repro.net.policy import (
+    Delay,
+    Drop,
+    Duplicate,
+    LinkContext,
+    LinkDecision,
+    LinkFilter,
+    LinkPolicy,
+    Reorder,
+)
 
-__all__ = ["BROADCAST", "Network", "Nic", "Packet", "PartitionController"]
+__all__ = [
+    "BROADCAST",
+    "Delay",
+    "Drop",
+    "Duplicate",
+    "LinkContext",
+    "LinkDecision",
+    "LinkFilter",
+    "LinkPolicy",
+    "Network",
+    "NetworkStats",
+    "Nic",
+    "Packet",
+    "PartitionController",
+    "Reorder",
+]

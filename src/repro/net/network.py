@@ -13,6 +13,11 @@ Failure model, mirroring the paper's assumptions:
 * optional uniform packet loss (off by default; the group protocol's
   retransmission machinery is exercised with it on).
 
+Beyond the paper's assumptions, an adversarial per-*delivery*
+interceptor chain (:mod:`repro.net.policy`) can drop, duplicate, delay,
+and reorder individual frames per (src, dst) link and per frame kind —
+the chaos layer (:mod:`repro.chaos`) drives it.
+
 Reachability is evaluated at *delivery* time, so a partition that
 forms while a frame is in flight drops the frame.
 """
@@ -23,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterable
 
 from repro.errors import NetworkError
+from repro.net.policy import LinkContext, LinkDecision, LinkPolicy
 from repro.sim.latency import LatencyModel
 from repro.sim.primitives import Channel
 from repro.sim.scheduler import Simulator
@@ -53,6 +59,11 @@ class NetworkStats:
     bytes_sent: int = 0
     frames_dropped: int = 0
     frames_by_kind: dict[str, int] = field(default_factory=dict)
+    # Link-policy effects (per delivery, not per frame).
+    frames_duplicated: int = 0
+    frames_delayed: int = 0
+    frames_reordered: int = 0
+    policy_drops: dict[str, int] = field(default_factory=dict)
 
     def record(self, kind: str, size: int) -> None:
         self.frames_sent += 1
@@ -63,6 +74,19 @@ class NetworkStats:
         """Copy of the per-kind counters (for before/after diffs)."""
         return dict(self.frames_by_kind)
 
+    def full_snapshot(self) -> dict:
+        """Every counter, copied — the determinism tests compare this."""
+        return {
+            "frames_sent": self.frames_sent,
+            "bytes_sent": self.bytes_sent,
+            "frames_dropped": self.frames_dropped,
+            "frames_by_kind": dict(self.frames_by_kind),
+            "frames_duplicated": self.frames_duplicated,
+            "frames_delayed": self.frames_delayed,
+            "frames_reordered": self.frames_reordered,
+            "policy_drops": dict(self.policy_drops),
+        }
+
 
 class Network:
     """A single Ethernet-like segment."""
@@ -72,10 +96,12 @@ class Network:
         sim: Simulator,
         latency: LatencyModel | None = None,
         loss_probability: float = 0.0,
+        link_policies: Iterable[LinkPolicy] | None = None,
     ):
         self.sim = sim
         self.latency = latency or LatencyModel.paper_testbed()
         self.loss_probability = loss_probability
+        self.link_policies: list[LinkPolicy] = list(link_policies or [])
         self.partitions = PartitionControllerProxy()
         self.stats = NetworkStats()
         self._nics: dict[Address, "Nic"] = {}
@@ -115,6 +141,34 @@ class Network:
             return False
         return self.partitions.connected(src, dst)
 
+    # -- link policies ----------------------------------------------------
+
+    def add_policy(self, policy: LinkPolicy) -> LinkPolicy:
+        """Append *policy* to the interceptor chain; returns it."""
+        self.link_policies.append(policy)
+        return policy
+
+    def remove_policy(self, policy: "LinkPolicy | str") -> None:
+        """Remove a policy (by instance or name); unknown names no-op."""
+        self.link_policies = [
+            p
+            for p in self.link_policies
+            if p is not policy and p.name != policy
+        ]
+
+    def clear_policies(self) -> None:
+        self.link_policies.clear()
+
+    def _intercept(
+        self, src: Address, dst: Address, kind: str, size: int, multicast: bool
+    ) -> LinkDecision:
+        """Run the policy chain over one candidate delivery."""
+        decision = LinkDecision()
+        ctx = LinkContext(src, dst, kind, size, multicast, self.sim.now)
+        for policy in self.link_policies:
+            policy.apply(ctx, decision, self.sim.rng)
+        return decision
+
     # -- transmission ------------------------------------------------------
 
     def transmit(
@@ -141,14 +195,42 @@ class Network:
             receivers = [dst]
             multicast = False
         for receiver in receivers:
+            if self.link_policies:
+                decision = self._intercept(src, receiver, kind, size, multicast)
+            else:
+                decision = None
+            if decision is not None and decision.drop:
+                self.stats.frames_dropped += 1
+                name = decision.dropped_by or "?"
+                self.stats.policy_drops[name] = (
+                    self.stats.policy_drops.get(name, 0) + 1
+                )
+                continue
+            arrival = self.sim.now + delay
+            copies = 1
+            if decision is not None:
+                if decision.extra_delay_ms > 0.0:
+                    arrival += decision.extra_delay_ms
+                    self.stats.frames_delayed += 1
+                copies += decision.duplicates
+                self.stats.frames_duplicated += decision.duplicates
             packet = Packet(src, receiver, kind, payload, size, multicast)
             pair = (src, receiver)
-            arrival = self.sim.now + delay
             previous = self._last_arrival.get(pair, 0.0)
-            if arrival < previous:
-                arrival = previous  # keep per-pair delivery FIFO
-            self._last_arrival[pair] = arrival
-            self.sim.schedule(arrival - self.sim.now, lambda p=packet: self._deliver(p))
+            if decision is not None and decision.allow_reorder:
+                # Exempt from per-pair FIFO: this delivery may be
+                # overtaken by later frames (bounded by the policy's
+                # delay ceiling). Do not advance the FIFO horizon.
+                if arrival < previous:
+                    self.stats.frames_reordered += 1
+            else:
+                if arrival < previous:
+                    arrival = previous  # keep per-pair delivery FIFO
+                self._last_arrival[pair] = arrival
+            for _ in range(copies):
+                self.sim.schedule(
+                    arrival - self.sim.now, lambda p=packet: self._deliver(p)
+                )
 
     def _deliver(self, packet: Packet) -> None:
         if not self.reachable(packet.src, packet.dst):

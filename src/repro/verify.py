@@ -96,6 +96,60 @@ def check_private_key_history(history: HistoryRecorder) -> list[Violation]:
     return violations
 
 
+@dataclass
+class InvariantReport:
+    """Combined verdict of all post-quiescence checks on one run.
+
+    ``replicas_equal`` covers operational replicas only; when fewer
+    than a majority are operational the run counts as *unavailable*
+    (the service refused rather than diverged), which callers treat as
+    a separate, legitimate outcome — see :mod:`repro.chaos`.
+    """
+
+    operational: int
+    total_servers: int
+    replicas_equal: bool
+    session_violations: list[Violation] = field(default_factory=list)
+    lost_updates: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.replicas_equal
+            and not self.session_violations
+            and not self.lost_updates
+        )
+
+    def problems(self) -> list[str]:
+        out = []
+        if not self.replicas_equal:
+            out.append("operational replicas hold divergent state")
+        out.extend(v.explanation for v in self.session_violations)
+        out.extend(self.lost_updates)
+        return out
+
+
+def check_cluster(
+    cluster, history: HistoryRecorder, final_names: set | None = None
+) -> InvariantReport:
+    """Run every invariant against a quiesced cluster + client history.
+
+    *final_names* is the final listing used for the lost-update check;
+    pass None to skip it (e.g. when no replica is reachable to read
+    the final state from).
+    """
+    operational = cluster.operational_servers()
+    report = InvariantReport(
+        operational=len(operational),
+        total_servers=len(cluster.servers),
+        replicas_equal=cluster.replicas_consistent(),
+        session_violations=check_private_key_history(history),
+    )
+    if final_names is not None:
+        report.lost_updates = check_no_lost_updates(history, final_names)
+    return report
+
+
 def check_no_lost_updates(history: HistoryRecorder, final_names: set) -> list[str]:
     """Every name a client appended (and never deleted) must exist in
     the final listing, and every deleted name must be absent."""

@@ -106,3 +106,136 @@ class TestRandomFaultPlan:
         plan = RandomFaultPlan(random.Random(1), 3, (5_000.0, 20_000.0))
         crash_restart = [e for e in plan.events if isinstance(e, (Crash, Partition))]
         assert all(e.at_ms >= 5_000.0 for e in crash_restart)
+
+
+class TestRandomFaultPlanManySeeds:
+    """Construction invariants over a wide seed sweep (cheap: no sim)."""
+
+    SEEDS = range(200)
+
+    @staticmethod
+    def replay(plan):
+        down, partitioned = set(), False
+        for event in sorted(plan.events, key=lambda e: e.at_ms):
+            if isinstance(event, Crash):
+                assert event.server not in down  # never crash a corpse
+                down.add(event.server)
+            elif isinstance(event, Restart):
+                assert event.server in down  # never restart a live server
+                down.discard(event.server)
+            elif isinstance(event, Partition):
+                assert not partitioned
+                partitioned = True
+            elif isinstance(event, Heal):
+                partitioned = False
+            yield down, partitioned
+
+    def test_max_down_respected_at_every_instant(self):
+        for seed in self.SEEDS:
+            plan = RandomFaultPlan(
+                random.Random(seed), 5, (0.0, 90_000.0), events=14, max_down=2
+            )
+            for down, _ in self.replay(plan):
+                assert len(down) <= 2, f"seed {seed}"
+
+    def test_every_crash_restarted_every_partition_healed(self):
+        for seed in self.SEEDS:
+            plan = RandomFaultPlan(
+                random.Random(seed), 3, (0.0, 60_000.0), events=10
+            )
+            down, partitioned = set(), False
+            for down, partitioned in self.replay(plan):
+                pass
+            assert down == set(), f"seed {seed}"
+            assert not partitioned, f"seed {seed}"
+
+    def test_repaired_tail_is_ordered_and_after_window(self):
+        # Tail repairs come strictly after the last in-window event and
+        # strictly increase in time (one repair at a time).
+        for seed in self.SEEDS:
+            plan = RandomFaultPlan(
+                random.Random(seed), 3, (1_000.0, 30_000.0), events=10
+            )
+            times = [e.at_ms for e in plan.events]
+            assert times == sorted(times), f"seed {seed}"
+            tail = [e for e in plan.events if e.at_ms > 30_000.0]
+            tail_times = [e.at_ms for e in tail]
+            assert tail_times == sorted(tail_times)
+            assert len(set(tail_times)) == len(tail_times), f"seed {seed}"
+            assert all(
+                isinstance(e, (Restart, Heal)) for e in tail
+            ), f"seed {seed}"
+
+
+class TestNewEventTypes:
+    def test_disk_failure_builder_and_rename(self):
+        from repro.faults import DiskFailure, DiskFailure_
+
+        assert DiskFailure_ is DiskFailure  # deprecated alias retained
+        plan = FaultPlan().disk_failure(500.0, 1)
+        [event] = plan.events
+        assert isinstance(event, DiskFailure)
+        assert event.site == 1
+
+    def test_disk_failure_fires_against_site_disk(self):
+        cluster = GroupServiceCluster(seed=1)
+        cluster.start()
+        cluster.wait_operational()
+        plan = FaultPlan().disk_failure(cluster.sim.now + 10.0, 2)
+        plan.arm(cluster)
+        cluster.run(until=cluster.sim.now + 50.0)
+        assert cluster.sites[2].disk.failed
+        assert plan.log[0][1] == "disk failure at site 2"
+
+    def test_install_and_remove_policy_events(self):
+        from repro.faults import InstallLinkPolicy, RemoveLinkPolicy
+        from repro.net import Drop
+
+        cluster = GroupServiceCluster(seed=1)
+        cluster.start()
+        cluster.wait_operational()
+        policy = Drop("chaos.test", probability=0.0)
+        base = cluster.sim.now
+        plan = (
+            FaultPlan()
+            .install_policy(base + 10.0, policy)
+            .remove_policy(base + 100.0, policy)
+        )
+        assert isinstance(plan.events[0], InstallLinkPolicy)
+        assert isinstance(plan.events[1], RemoveLinkPolicy)
+        plan.arm(cluster)
+        cluster.run(until=base + 50.0)
+        assert policy in cluster.network.link_policies
+        cluster.run(until=base + 200.0)
+        assert policy not in cluster.network.link_policies
+        assert [d for _, d in plan.log] == [
+            "install link policy 'chaos.test'",
+            "remove link policy 'chaos.test'",
+        ]
+
+    def test_intervention_runs_fn_against_live_cluster(self):
+        cluster = GroupServiceCluster(seed=1)
+        cluster.start()
+        cluster.wait_operational()
+        seen = []
+
+        def fire(c):
+            seen.append(c)
+            return "did the thing"
+
+        plan = FaultPlan().intervene(cluster.sim.now + 10.0, "thing", fire)
+        plan.arm(cluster)
+        cluster.run(until=cluster.sim.now + 50.0)
+        assert seen == [cluster]
+        assert plan.log[0][1] == "did the thing"
+
+    def test_intervention_label_used_when_fn_returns_none(self):
+        cluster = GroupServiceCluster(seed=1)
+        cluster.start()
+        cluster.wait_operational()
+        plan = FaultPlan().intervene(
+            cluster.sim.now + 10.0, "anonymous", lambda c: None
+        )
+        plan.arm(cluster)
+        cluster.run(until=cluster.sim.now + 50.0)
+        assert plan.log[0][1] == "anonymous"

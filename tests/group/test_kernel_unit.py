@@ -191,3 +191,55 @@ class TestInfo:
         assert info.taken == kernel.taken
         assert info.size == 3
         assert info.buffered == kernel.received - kernel.taken
+
+
+class TestRestartSafety:
+    """Regressions for the chaos-harness finding: state left over from a
+    machine's (or group instance's) previous life must never alias new
+    protocol traffic."""
+
+    def test_msg_ids_unique_across_kernel_restarts(self):
+        # A restarted machine builds a fresh kernel whose message
+        # counter starts over; peers may still hold dedup entries from
+        # its previous life. The kernel epoch must disambiguate them,
+        # or the sequencer swallows new messages as "duplicates" and
+        # acknowledges sends that were never sequenced.
+        bed = TestBed(["a"])
+        k1 = GroupKernel(bed["a"].transport, "g")
+        first_life = {k1.new_msg_id() for _ in range(5)}
+        bed.sim.run(until=100.0)  # the restart happens later in time
+        k2 = GroupKernel(bed["a"].transport, "g")
+        second_life = {k2.new_msg_id() for _ in range(5)}
+        assert first_life.isdisjoint(second_life)
+
+    def test_drop_speculation_purges_above_gap_records(self):
+        from repro.group.kernel import BcRecord
+
+        bed, kernel = lone_kernel()
+        for seqno in (0, 1, 4):  # gap at 2-3: 4 is uncommitted speculation
+            record = BcRecord(seqno, ("m", 0, seqno), "m", f"p{seqno}", 8)
+            kernel.history[seqno] = record
+            kernel.sequenced_ids[record.msg_id] = seqno
+        kernel.received = 1
+        kernel._drop_speculation()
+        assert sorted(kernel.history) == [0, 1]
+        assert ("m", 0, 4) not in kernel.sequenced_ids
+        assert kernel.sequenced_ids[("m", 0, 1)] == 1
+
+    def test_reset_does_not_resurrect_speculation(self):
+        # A coordinator concluding a reset must not keep above-gap
+        # records: seqno assignment restarts at received+1 and would
+        # collide with them.
+        from repro.group.kernel import BcRecord
+
+        bed, kernel = lone_kernel()
+        stale = BcRecord(7, ("ghost", 0, 1), "ghost", "stale", 8)
+        kernel.history[7] = stale
+        kernel.sequenced_ids[stale.msg_id] = 7
+        kernel.state = "failed"
+        key = kernel.begin_reset_round(kernel.incarnation + 1)
+        assert key is not None
+        view = kernel.conclude_reset(key)
+        assert view is not None
+        assert 7 not in kernel.history
+        assert kernel.next_assign == kernel.received + 1

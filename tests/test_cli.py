@@ -21,3 +21,22 @@ class TestCli:
         status = main(["--iterations", "2", "--seed", "5", "fig7"])
         assert status == 0
         assert "Directory lookup" in capsys.readouterr().out
+
+
+class TestChaosCli:
+    def test_list_scenarios(self, capsys):
+        status = main(["--list-scenarios", "chaos"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "sequencer_crash" in out
+        assert "majority_lost" in out
+        assert "negative" in out  # flagged as out of rotation
+
+    def test_single_seed_smoke_run_passes(self, capsys):
+        status = main(
+            ["--seeds", "1", "--smoke", "--scenario", "delay_spikes", "chaos"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "1/1 scenario runs passed" in out
+        assert "all invariants held" in out
