@@ -8,6 +8,8 @@ Usage::
     python -m repro all             # everything above
     python -m repro demo            # the narrated fault-tolerance tour
     python -m repro chaos --seeds 25   # adversarial chaos suite
+    python -m repro chaos --json       # ... machine-readable verdicts
+    python -m repro trace update       # traced run + phase breakdown
 
 Each command prints the measured numbers next to the paper's. For the
 full experiment set (ablations included) run
@@ -88,6 +90,8 @@ def cmd_all(args) -> int:
 
 
 def cmd_chaos(args) -> int:
+    import json
+
     from repro.chaos import SCENARIOS, format_verdicts, run_suite
 
     if args.list_scenarios:
@@ -105,16 +109,78 @@ def cmd_chaos(args) -> int:
         base_seed=args.seed,
         smoke=args.smoke,
         only=args.scenario,
+        trace_dir=args.trace_dir,
     )
-    print(format_verdicts(verdicts))
     failures = [v for v in verdicts if not v.ok]
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "passed": len(verdicts) - len(failures),
+                    "total": len(verdicts),
+                    "verdicts": [v.as_dict() for v in verdicts],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 1 if failures else 0
+    print(format_verdicts(verdicts))
     if failures:
         print(f"\n{len(failures)} scenario run(s) FAILED:")
         for v in failures:
             for problem in v.problems[:5]:
                 print(f" - seed {v.seed} {v.scenario}: {problem}")
+            if v.trace_path:
+                print(f"   flight recorder: {v.trace_path}")
         return 1
     print("\nall invariants held (replica equality + session guarantees).")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    import pathlib
+
+    from repro.obs import breakdown
+    from repro.obs.export import write_trace
+
+    scenario = args.target or "update"
+    if scenario not in breakdown.SCENARIOS:
+        print(f"error: unknown trace scenario {scenario!r}")
+        print(f"known scenarios: {', '.join(sorted(breakdown.SCENARIOS))}")
+        return 2
+    run = breakdown.record_update_trace(
+        scenario, iterations=args.iterations, seed=args.seed
+    )
+    summary = breakdown.aggregate(run.breakdowns)
+    print(breakdown.format_table(summary, run.scenario, run.impl))
+    if run.dropped:
+        print(f"(ring buffer dropped {run.dropped} early events)")
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"{run.scenario}-seed{run.seed}"
+    extensions = {"jsonl": ".jsonl", "chrome": ".trace.json", "text": ".txt"}
+    formats = (
+        ("jsonl", "chrome", "text") if args.format == "all" else (args.format,)
+    )
+    print()
+    for fmt in formats:
+        path = out_dir / (stem + extensions[fmt])
+        write_trace(run.events, path, fmt)
+        note = "  (open in https://ui.perfetto.dev)" if fmt == "chrome" else ""
+        print(f"wrote {path}{note}")
+
+    check = breakdown.check_against_benchmark(run)
+    print(
+        f"\nphase sums vs untraced benchmark: traced="
+        f"{check['traced_ms']:.3f} ms, benchmark={check['benchmark_ms']:.3f} "
+        f"ms, error={check['relative_error'] * 100:.2f}%"
+    )
+    if not check["ok"]:
+        print("FAIL: phase decomposition drifted more than 5% from Fig. 7")
+        return 1
+    print("OK: the breakdown reproduces the Fig. 7 latency within 5%.")
     return 0
 
 
@@ -164,9 +230,36 @@ def main(argv=None) -> int:
         help="chaos: list registered scenarios and exit",
     )
     parser.add_argument(
+        "--json",
+        action="store_true",
+        help="chaos: print structured verdicts as JSON",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        default="chaos-traces",
+        help="chaos: directory for failing seeds' flight-recorder dumps",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["jsonl", "chrome", "text", "all"],
+        default="all",
+        help="trace: which exporter(s) to write",
+    )
+    parser.add_argument(
+        "--out",
+        default="traces",
+        help="trace: output directory for exported traces",
+    )
+    parser.add_argument(
         "command",
-        choices=["fig7", "fig8", "fig9", "all", "demo", "chaos"],
+        choices=["fig7", "fig8", "fig9", "all", "demo", "chaos", "trace"],
         help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="trace: scenario to record (update | nvram-update | lookup)",
     )
     args = parser.parse_args(argv)
     handler = {
@@ -176,6 +269,7 @@ def main(argv=None) -> int:
         "all": cmd_all,
         "demo": cmd_demo,
         "chaos": cmd_chaos,
+        "trace": cmd_trace,
     }[args.command]
     return handler(args)
 

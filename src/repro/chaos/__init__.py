@@ -25,9 +25,12 @@ fingerprints. Run the suite with ``python -m repro chaos --seeds N``.
 
 from repro.chaos.nemesis import NEMESES, build_nemesis
 from repro.chaos.runner import (
+    DEFAULT_TRACE_DIR,
+    FLIGHT_RECORDER_CAPACITY,
     SCENARIOS,
     Scenario,
     ScenarioVerdict,
+    dump_flight_recorder,
     format_verdicts,
     run_scenario,
     run_suite,
@@ -35,11 +38,14 @@ from repro.chaos.runner import (
 )
 
 __all__ = [
+    "DEFAULT_TRACE_DIR",
+    "FLIGHT_RECORDER_CAPACITY",
     "NEMESES",
     "SCENARIOS",
     "Scenario",
     "ScenarioVerdict",
     "build_nemesis",
+    "dump_flight_recorder",
     "format_verdicts",
     "run_scenario",
     "run_suite",

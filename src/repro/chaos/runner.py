@@ -26,6 +26,7 @@ exactly like the soak tests in ``tests/integration/test_chaos.py``.
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -33,6 +34,7 @@ from repro.chaos.nemesis import build_nemesis
 from repro.errors import ReproError, SimulationError
 from repro.faults.plan import FaultPlan
 from repro.net.policy import Drop, Duplicate, Delay, LinkFilter, Reorder
+from repro.obs.export import to_jsonl
 from repro.verify import HistoryRecorder, InvariantReport, check_cluster
 
 #: Simulated ms of fault-free tail after the fault window, long enough
@@ -40,6 +42,11 @@ from repro.verify import HistoryRecorder, InvariantReport, check_cluster
 SETTLE_MS = 30_000.0
 #: Faults begin this long after the cluster reports operational.
 WARMUP_MS = 2_000.0
+#: Ring-buffer size of the always-on flight recorder: enough for the
+#: last few seconds of cluster activity without unbounded growth.
+FLIGHT_RECORDER_CAPACITY = 2048
+#: Where failing seeds leave their flight-recorder dumps.
+DEFAULT_TRACE_DIR = "chaos-traces"
 
 
 @dataclass(frozen=True)
@@ -77,6 +84,44 @@ class ScenarioVerdict:
     net_stats: dict = field(default_factory=dict)
     fingerprints: tuple = ()
     simulated_ms: float = 0.0
+    #: Flight recorder: the last events before the run ended (ring
+    #: buffer of FLIGHT_RECORDER_CAPACITY), and where they were dumped.
+    trace_events: list = field(default_factory=list)
+    trace_path: str | None = None
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (``python -m repro chaos --json``)."""
+        from repro.obs.export import _plain
+
+        out = {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "status": self.status,
+            "ok": self.ok,
+            "expected_available": self.expected_available,
+            "problems": list(self.problems),
+            "simulated_ms": round(self.simulated_ms, 3),
+            "faults_fired": len(self.fault_log),
+            "fault_log": [
+                {"at_ms": round(at, 3), "description": description}
+                for at, description in self.fault_log
+            ],
+            "net_stats": _plain(self.net_stats),
+            "fingerprints": [str(f) for f in self.fingerprints],
+            "trace_events": len(self.trace_events),
+            "trace_path": self.trace_path,
+        }
+        if self.report is not None:
+            out["invariants"] = {
+                "operational": self.report.operational,
+                "total_servers": self.report.total_servers,
+                "replicas_equal": self.report.replicas_equal,
+                "session_violations": [
+                    v.explanation for v in self.report.session_violations
+                ],
+                "lost_updates": list(self.report.lost_updates),
+            }
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -308,10 +353,11 @@ def run_scenario(
     """Run one seeded scenario end to end and return its verdict."""
     window_ms = scenario.window_ms * (0.6 if smoke else 1.0)
     n_clients = min(scenario.n_clients, 2) if smoke else scenario.n_clients
+    holder: dict = {}
     try:
-        return _run(scenario, seed, window_ms, n_clients)
+        return _run(scenario, seed, window_ms, n_clients, holder)
     except Exception as exc:  # harness bug or simulated deadlock
-        return ScenarioVerdict(
+        verdict = ScenarioVerdict(
             scenario=scenario.name,
             seed=seed,
             status="error",
@@ -319,12 +365,28 @@ def run_scenario(
             expected_available=scenario.expect_available,
             problems=[f"{type(exc).__name__}: {exc}"],
         )
+        cluster = holder.get("cluster")
+        if cluster is not None:
+            # The flight recorder survives the wreck: keep the last
+            # events so the failure is debuggable from the dump alone.
+            verdict.trace_events = list(cluster.obs.tracer.events())
+            verdict.simulated_ms = cluster.sim.now
+        return verdict
 
 
-def _run(scenario: Scenario, seed: int, window_ms: float, n_clients: int):
+def _run(
+    scenario: Scenario,
+    seed: int,
+    window_ms: float,
+    n_clients: int,
+    holder: dict | None = None,
+):
     cluster = _build_cluster(scenario, seed)
+    if holder is not None:
+        holder["cluster"] = cluster
     cluster.start()
     cluster.wait_operational()
+    cluster.enable_tracing(FLIGHT_RECORDER_CAPACITY)
     sim = cluster.sim
     root = cluster.root_capability
     history = HistoryRecorder()
@@ -457,7 +519,25 @@ def _run(scenario: Scenario, seed: int, window_ms: float, n_clients: int):
         net_stats=cluster.network.stats.full_snapshot(),
         fingerprints=fingerprints,
         simulated_ms=sim.now,
+        trace_events=list(cluster.obs.tracer.events()),
     )
+
+
+def dump_flight_recorder(
+    verdict: ScenarioVerdict, trace_dir: str = DEFAULT_TRACE_DIR
+) -> str | None:
+    """Write the verdict's ring-buffer trace as JSONL next to the seed.
+
+    Returns the path written (also stored in ``verdict.trace_path``),
+    or None when the verdict carries no events."""
+    if not verdict.trace_events:
+        return None
+    directory = pathlib.Path(trace_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{verdict.scenario}-seed{verdict.seed}.jsonl"
+    path.write_text(to_jsonl(verdict.trace_events))
+    verdict.trace_path = str(path)
+    return verdict.trace_path
 
 
 def run_suite(
@@ -465,14 +545,21 @@ def run_suite(
     base_seed: int = 0,
     smoke: bool = False,
     only: str | None = None,
+    trace_dir: str | None = DEFAULT_TRACE_DIR,
 ) -> list[ScenarioVerdict]:
     """Run *seeds* scenario instances, round-robin over the rotation
-    (or *only* the named scenario), with seeds base_seed..base_seed+N-1."""
+    (or *only* the named scenario), with seeds base_seed..base_seed+N-1.
+
+    Failing runs leave their flight-recorder dump under *trace_dir*
+    (pass None to disable)."""
     chosen = [scenario_by_name(only)] if only else rotation()
     verdicts = []
     for i in range(seeds):
         scenario = chosen[i % len(chosen)]
-        verdicts.append(run_scenario(scenario, base_seed + i, smoke=smoke))
+        verdict = run_scenario(scenario, base_seed + i, smoke=smoke)
+        if not verdict.ok and trace_dir is not None:
+            dump_flight_recorder(verdict, trace_dir)
+        verdicts.append(verdict)
     return verdicts
 
 

@@ -10,7 +10,6 @@ benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
 
 from repro.amoeba.capability import owner_capability
 from repro.directory.admin import AdminPartition
@@ -112,7 +111,19 @@ class BaseCluster:
                 "not on a cluster that reuses one"
             )
         self.network = network
+        #: The simulator's observability bundle (repro.obs).
+        self.obs = self.sim.obs
         self.clients: dict[str, DirectoryClient] = {}
+
+    def enable_tracing(self, capacity: int | None = None):
+        """Turn on the causal trace recorder (see docs/OBSERVABILITY.md).
+
+        With *capacity* the recorder is a ring buffer holding the last
+        N events (flight-recorder mode); without it the buffer is
+        unbounded. Returns the recorder for convenience.
+        """
+        self.obs.tracer.enable(capacity)
+        return self.obs.tracer
 
     # -- adversarial link faults (see repro.net.policy) -----------------
 
@@ -193,6 +204,7 @@ class BaseCluster:
                 for s in servers
                 if s is not None
             ]
+        out["metrics"] = self.obs.registry.snapshot()
         return out
 
     def format_report(self) -> str:

@@ -13,7 +13,7 @@ imperfection shapes the throughput curves of the paper's Fig. 8.
 
 from __future__ import annotations
 
-from repro.amoeba.capability import Capability, Port, Rights
+from repro.amoeba.capability import Capability, Port
 from repro.directory.model import DEFAULT_COLUMNS
 from repro.directory.operations import (
     AppendRow,

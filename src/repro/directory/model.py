@@ -15,7 +15,7 @@ identical file for the same logical state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.amoeba.capability import Capability
 from repro.errors import AlreadyExists, DirectoryError, NotFound

@@ -42,6 +42,11 @@ class NfsDirectoryServer:
         ]
         self.reads_served = 0
         self.writes_served = 0
+        self._obs = self.sim.obs
+        registry = self.sim.obs.registry
+        node = str(transport.address)
+        self._c_reads = registry.counter(node, "dir.reads")
+        self._c_writes = registry.counter(node, "dir.writes")
 
     def crash(self) -> None:
         """No fault tolerance: a crash simply stops the service."""
@@ -67,6 +72,7 @@ class NfsDirectoryServer:
                         handle.error(exc)
                         continue
                     self.reads_served += 1
+                    self._c_reads.inc()
                     handle.reply(result, size=96)
                 else:
                     op = self._prepare(op)
@@ -81,6 +87,7 @@ class NfsDirectoryServer:
                     finally:
                         self._disk.release()
                     self.writes_served += 1
+                    self._c_writes.inc()
                     handle.reply(result, size=96)
             except Interrupted:
                 raise

@@ -45,6 +45,8 @@ ANNIHILATION_CPU_MS = 4.0
 class NvramDirectoryServer(GroupDirectoryServer):
     """Group directory server whose commit path is an NVRAM append."""
 
+    PERSIST_PHASE = "nvram"
+
     def __init__(self, config, index, transport, bullet_port, admin, nvram: Nvram):
         super().__init__(config, index, transport, bullet_port, admin)
         self.nvram = nvram
@@ -151,6 +153,11 @@ class NvramDirectoryServer(GroupDirectoryServer):
         are kept — their directories are in the fresh dirty set.
         """
         flush_floor = self.state.update_seqno
+        if self._obs.tracer.enabled:
+            self._obs.tracer.emit(
+                str(self.me), "dir", "dir.flush.start",
+                logged=len(self.nvram), dirty=len(self._dirty),
+            )
         dirty, self._dirty = self._dirty, set()
         deleted, self._deleted_dirty = self._deleted_dirty, set()
         for obj in sorted(dirty):
@@ -175,6 +182,10 @@ class NvramDirectoryServer(GroupDirectoryServer):
         # Everything up to flush_floor is now on disk: those records
         # may leave the board. (Later records stay for the next flush.)
         self.nvram.remove_flushed(lambda r: r.payload[1] <= flush_floor)
+        if self._obs.tracer.enabled:
+            self._obs.tracer.emit(
+                str(self.me), "dir", "dir.flush.end", remaining=len(self.nvram)
+            )
 
     # ------------------------------------------------------------------
     # recovery integration

@@ -12,8 +12,7 @@ or the write path (SendToGroup / intentions RPC).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass
 
 from repro.amoeba.capability import Capability
 from repro.directory.model import DEFAULT_COLUMNS

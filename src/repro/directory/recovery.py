@@ -71,12 +71,20 @@ def run_recovery(server):
         # by our own transfer below without zeroing our claim).
         server.boot_seqno = server.admin.highest_seqno()
 
+    tracer = sim.obs.tracer
+
+    def trace_phase(phase: str, **args) -> None:
+        if tracer.enabled:
+            tracer.emit(str(server.me), "dir", "dir.recover.phase",
+                        phase=phase, round=rounds, **args)
+
     rounds = 0
     used_improved_rule = False
     while timings.max_rounds is None or rounds < timings.max_rounds:
         rounds += 1
 
         # -- Phase 1: rejoin the server group, or create it ------------
+        trace_phase("join")
         member = server.member
         if member.kernel.state != STATE_MEMBER:
             member.kernel.state = STATE_IDLE
@@ -105,6 +113,7 @@ def run_recovery(server):
             continue
 
         # -- Phase 3: Skeen's algorithm ---------------------------------
+        trace_phase("exchange")
         my_seqno = server.best_known_seqno()
         mourned = set(server.mourned_set())
         newgroup = {server.me}
@@ -148,6 +157,8 @@ def run_recovery(server):
 
         # -- Phase 4: state transfer from the freshest member -----------
         donor = max(seqnos, key=lambda a: (seqnos[a], str(a)))
+        trace_phase("transfer", donor=str(donor),
+                    improved_rule=used_improved_rule)
         transferred = 0
         applied_kernel = member.info().taken
         if donor == server.me:

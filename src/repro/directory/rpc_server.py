@@ -96,6 +96,14 @@ class RpcDirectoryServer:
 
         self.reads_served = 0
         self.writes_served = 0
+        self._obs = self.sim.obs
+        registry = self.sim.obs.registry
+        node = str(self.me)
+        self._c_reads = registry.counter(node, "dir.reads")
+        self._c_writes = registry.counter(node, "dir.writes")
+        self._c_intents_stored = registry.counter(node, "dir.intents_stored")
+        self._c_lazy_applied = registry.counter(node, "dir.lazy_applied")
+        self._c_peer_busy = registry.counter(node, "dir.peer_busy")
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -199,7 +207,12 @@ class RpcDirectoryServer:
                 handle.error(ServiceDown(f"internal error: {exc!r}"))
 
     def _handle_request(self, op: DirectoryOp, handle):
+        tracer = self._obs.tracer
         if op.is_read:
+            if tracer.enabled:
+                tracer.emit(
+                    str(self.me), "dir", "dir.read.recv", op=type(op).__name__
+                )
             yield from self.transport.cpu.use(
                 self._latency().cpu.read_processing_ms
             )
@@ -209,8 +222,15 @@ class RpcDirectoryServer:
                 handle.error(exc)
                 return
             self.reads_served += 1
+            self._c_reads.inc()
+            if tracer.enabled:
+                tracer.emit(str(self.me), "dir", "dir.read.reply")
             handle.reply(result, size=96)
             return
+        if tracer.enabled:
+            tracer.emit(
+                str(self.me), "dir", "dir.write.recv", op=type(op).__name__
+            )
         op = self._prepare_write(op)
         yield self._update_mutex.acquire()
         try:
@@ -234,6 +254,9 @@ class RpcDirectoryServer:
             yield from self.admin.partition.write_block(1, b"intent", kind="cached")
             yield from self._persist_effects(effects)
             self.writes_served += 1
+            self._c_writes.inc()
+            if tracer.enabled:
+                tracer.emit(str(self.me), "dir", "dir.write.reply")
             handle.reply(result, size=96)
         finally:
             self._update_mutex.release()
@@ -314,10 +337,14 @@ class RpcDirectoryServer:
                 handle.error(DirectoryError(f"unknown peer op {kind!r}"))
                 continue
             if self._update_mutex.held or self._lazy_queue:
+                self._c_peer_busy.inc()
                 handle.error(PeerBusy("conflicting operation in progress"))
                 continue
             # Store intentions with write-behind and acknowledge.
             self._lazy_queue.append(request["update"])
+            self._c_intents_stored.inc()
+            if self._obs.tracer.enabled:
+                self._obs.tracer.emit(str(self.me), "dir", "dir.intent.stored")
             self.peer_reachable = True
             handle.reply("OK", size=32)
 
@@ -379,6 +406,7 @@ class RpcDirectoryServer:
             if effects is not None:
                 yield from self._persist_effects(effects)
             self._lazy_queue.popleft()
+            self._c_lazy_applied.inc()
 
     # ------------------------------------------------------------------
     # storage

@@ -26,7 +26,7 @@ handlers and timer callbacks. The blocking primitives live in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import GroupFailure
@@ -83,6 +83,21 @@ class GroupKernel:
         self.group = group
         self.timings = timings or GroupTimings()
         self.me = transport.address
+
+        # Observability: registry counters (always on) + guarded tracer.
+        self._obs = self.sim.obs
+        registry = self._obs.registry
+        node = str(self.me)
+        self._c_submitted = registry.counter(node, "group.submitted")
+        self._c_sequenced = registry.counter(node, "group.sequenced")
+        self._c_bc_rx = registry.counter(node, "group.bc_rx")
+        self._c_commits = registry.counter(node, "group.commit_advances")
+        self._c_retrans_req = registry.counter(node, "group.retrans_requested")
+        self._c_retrans_srv = registry.counter(node, "group.retrans_served")
+        self._c_failures = registry.counter(node, "group.failures")
+        self._c_views = registry.counter(node, "group.views_adopted")
+        self._c_resets = registry.counter(node, "group.resets_led")
+        self._c_delivered = registry.counter(node, "group.delivered")
 
         # Membership.
         self.state = STATE_IDLE
@@ -249,6 +264,12 @@ class GroupKernel:
             fut.fail(GroupFailure(f"not a group member ({self.state})"))
             return fut
         msg_id = self.new_msg_id()
+        self._c_submitted.inc()
+        if self._obs.tracer.enabled:
+            self._obs.tracer.emit(
+                str(self.me), "group", "grp.submit",
+                lineage=msg_id, size=size,
+            )
         pending = PendingSend(
             msg_id, payload, size, fut, self.timings.send_retries
         )
@@ -314,6 +335,12 @@ class GroupKernel:
         record = BcRecord(seqno, msg_id, sender, payload, size)
         self.history[seqno] = record
         self.sequenced_ids[msg_id] = seqno
+        self._c_sequenced.inc()
+        if self._obs.tracer.enabled:
+            self._obs.tracer.emit(
+                str(self.me), "group", "grp.sequence",
+                lineage=msg_id, seqno=seqno, sender=str(sender),
+            )
         if self.received == seqno - 1:
             self.received = seqno
         if self._required_acks() == 0 and self.received > self.committed:
@@ -363,6 +390,12 @@ class GroupKernel:
         safe = self._safe_point()
         if safe > self.committed:
             self.committed = safe
+            self._c_commits.inc()
+            if self._obs.tracer.enabled:
+                self._obs.tracer.emit(
+                    str(self.me), "group", "grp.commit",
+                    committed=self.committed,
+                )
             self._broadcast("commit", {**self._stamp(), "committed": self.committed})
             self._after_commit_advance()
 
@@ -372,6 +405,11 @@ class GroupKernel:
             seqno = self.sequenced_ids.get(msg_id)
             if seqno is not None and seqno <= self.committed:
                 self.pending_sends.pop(msg_id, None)
+                if self._obs.tracer.enabled:
+                    self._obs.tracer.emit(
+                        str(self.me), "group", "grp.send.committed",
+                        lineage=msg_id, seqno=seqno,
+                    )
                 pending.future.resolve_if_pending(seqno)
         self.wakeup.notify_all()
 
@@ -403,6 +441,12 @@ class GroupKernel:
                 payload["size"],
             )
             self.sequenced_ids[payload["msg_id"]] = seqno
+            self._c_bc_rx.inc()
+            if self._obs.tracer.enabled:
+                self._obs.tracer.emit(
+                    str(self.me), "group", "grp.bc.rx",
+                    lineage=payload["msg_id"], seqno=seqno,
+                )
         self._advance_received()
         if seqno > self.received:
             self._maybe_request_retrans()
@@ -453,6 +497,12 @@ class GroupKernel:
             return
         self._retrans_requested_at = now
         if self.sequencer != self.me:
+            self._c_retrans_req.inc()
+            if self._obs.tracer.enabled:
+                self._obs.tracer.emit(
+                    str(self.me), "group", "grp.retrans.req",
+                    missing_from=self.received + 1,
+                )
             self._send(
                 self.sequencer,
                 "retrans",
@@ -464,6 +514,7 @@ class GroupKernel:
         if not self._current(payload) or self.me != self.sequencer:
             return
         start = payload["from"]
+        self._c_retrans_srv.inc()
         for seqno in range(start, self.received + 1):
             record = self.history.get(seqno)
             if record is not None:
@@ -576,6 +627,12 @@ class GroupKernel:
             return
         self.state = STATE_FAILED
         self.failure_reason = reason
+        self._c_failures.inc()
+        if self._obs.tracer.enabled:
+            self._obs.tracer.emit(
+                str(self.me), "group", "grp.fail",
+                reason=reason, announce=announce,
+            )
         if announce:
             self._broadcast("fail", {**self._stamp(), "reason": reason})
         for pending in list(self.pending_sends.values()):
@@ -742,6 +799,13 @@ class GroupKernel:
         self.failure_reason = ""
         self.last_heartbeat = self.sim.now
         self._promise = (self.incarnation, "")
+        self._c_views.inc()
+        if self._obs.tracer.enabled:
+            self._obs.tracer.emit(
+                str(self.me), "group", "grp.view",
+                inc=self.incarnation, members=len(self.view),
+                sequencer=str(self.sequencer), joining=joining,
+            )
         if self._ticker is None or not was_member:
             self._start_ticker()
         if joining and self._join_waiter is not None:
@@ -888,6 +952,12 @@ class GroupKernel:
         self.failure_reason = ""
         self._promise = (self.incarnation, "")
         self.last_heartbeat = self.sim.now
+        self._c_resets.inc()
+        if self._obs.tracer.enabled:
+            self._obs.tracer.emit(
+                str(self.me), "group", "grp.reset",
+                inc=self.incarnation, survivors=len(self.view),
+            )
         tail = [self.history[s] for s in sorted(self.history) if s > min(
             (received for received, _ in votes.values()), default=-1
         )]

@@ -168,6 +168,7 @@ class GroupMember:
                 record = kernel.history.get(next_seqno)
                 if record is not None:
                     kernel.taken = next_seqno
+                    self._note_delivery(record)
                     return record
             yield kernel.wakeup.wait()
 
@@ -179,7 +180,18 @@ class GroupMember:
         record = kernel.history.get(kernel.taken + 1)
         if record is not None:
             kernel.taken += 1
+            self._note_delivery(record)
         return record
+
+    def _note_delivery(self, record: BcRecord) -> None:
+        """Count + trace one ordered delivery to the application."""
+        kernel = self.kernel
+        kernel._c_delivered.inc()
+        if kernel._obs.tracer.enabled:
+            kernel._obs.tracer.emit(
+                str(kernel.me), "group", "grp.deliver",
+                lineage=record.msg_id, seqno=record.seqno,
+            )
 
     # -- reset ------------------------------------------------------------------
 

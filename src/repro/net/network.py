@@ -104,6 +104,18 @@ class Network:
         self.link_policies: list[LinkPolicy] = list(link_policies or [])
         self.partitions = PartitionControllerProxy()
         self.stats = NetworkStats()
+        # Segment-wide registry counters under the pseudo-node "net"
+        # (NetworkStats stays the compact per-network API; the registry
+        # is the cross-layer sink report()/exporters read from).
+        registry = sim.obs.registry
+        self._obs = sim.obs
+        self._c_frames = registry.counter("net", "net.frames_sent")
+        self._c_bytes = registry.counter("net", "net.bytes_sent")
+        self._c_dropped = registry.counter("net", "net.frames_dropped")
+        self._c_delayed = registry.counter("net", "net.frames_delayed")
+        self._c_duplicated = registry.counter("net", "net.frames_duplicated")
+        self._c_reordered = registry.counter("net", "net.frames_reordered")
+        self._c_policy_drops = registry.counter("net", "net.policy_drops")
         self._nics: dict[Address, "Nic"] = {}
         # Per (src, dst) pair: last scheduled arrival time. A single
         # Ethernet segment serializes frames, so delivery between a
@@ -184,8 +196,22 @@ class Network:
         if not src_nic.up:
             raise NetworkError(f"NIC {src!r} is down")
         self.stats.record(kind, size)
+        self._c_frames.inc()
+        self._c_bytes.inc(size)
+        tracer = self._obs.tracer
+        if tracer.enabled:
+            tracer.emit(
+                str(src), "net", "net.send",
+                dst=str(dst), kind=kind, size=size,
+            )
         if self._lost():
             self.stats.frames_dropped += 1
+            self._c_dropped.inc()
+            if tracer.enabled:
+                tracer.emit(
+                    str(src), "net", "net.drop",
+                    dst=str(dst), kind=kind, reason="loss",
+                )
             return
         delay = self.latency.network.transmit_time(size) + self._jitter()
         if dst == BROADCAST:
@@ -201,10 +227,17 @@ class Network:
                 decision = None
             if decision is not None and decision.drop:
                 self.stats.frames_dropped += 1
+                self._c_dropped.inc()
+                self._c_policy_drops.inc()
                 name = decision.dropped_by or "?"
                 self.stats.policy_drops[name] = (
                     self.stats.policy_drops.get(name, 0) + 1
                 )
+                if tracer.enabled:
+                    tracer.emit(
+                        str(src), "net", "net.drop",
+                        dst=str(receiver), kind=kind, reason=name,
+                    )
                 continue
             arrival = self.sim.now + delay
             copies = 1
@@ -212,8 +245,11 @@ class Network:
                 if decision.extra_delay_ms > 0.0:
                     arrival += decision.extra_delay_ms
                     self.stats.frames_delayed += 1
+                    self._c_delayed.inc()
                 copies += decision.duplicates
                 self.stats.frames_duplicated += decision.duplicates
+                if decision.duplicates:
+                    self._c_duplicated.inc(decision.duplicates)
             packet = Packet(src, receiver, kind, payload, size, multicast)
             pair = (src, receiver)
             previous = self._last_arrival.get(pair, 0.0)
@@ -223,6 +259,7 @@ class Network:
                 # delay ceiling). Do not advance the FIFO horizon.
                 if arrival < previous:
                     self.stats.frames_reordered += 1
+                    self._c_reordered.inc()
             else:
                 if arrival < previous:
                     arrival = previous  # keep per-pair delivery FIFO
@@ -233,9 +270,22 @@ class Network:
                 )
 
     def _deliver(self, packet: Packet) -> None:
+        tracer = self._obs.tracer
         if not self.reachable(packet.src, packet.dst):
             self.stats.frames_dropped += 1
+            self._c_dropped.inc()
+            if tracer.enabled:
+                tracer.emit(
+                    str(packet.src), "net", "net.drop",
+                    dst=str(packet.dst), kind=packet.kind,
+                    reason="unreachable",
+                )
             return
+        if tracer.enabled:
+            tracer.emit(
+                str(packet.dst), "net", "net.deliver",
+                src=str(packet.src), kind=packet.kind,
+            )
         self._nics[packet.dst].inbox.send(packet)
 
     def _lost(self) -> bool:

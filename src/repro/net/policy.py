@@ -38,9 +38,9 @@ every group's sequenced broadcasts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fnmatch import fnmatchcase
-from typing import Any, Callable, Hashable
+from typing import Any, Hashable
 
 Address = Hashable
 

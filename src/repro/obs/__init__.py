@@ -1,0 +1,39 @@
+"""Simulation-wide observability: metrics registry + causal tracing.
+
+The subsystem has three parts (ISSUE 2 tentpole):
+
+* :mod:`repro.obs.registry` — a per-node metrics registry (counters,
+  time-weighted gauges, histograms) that every layer publishes into;
+* :mod:`repro.obs.trace` — a causal trace recorder capturing structured
+  protocol events with sim-timestamps and message lineage ids, backed
+  by an optional ring buffer so it can run as a flight recorder;
+* :mod:`repro.obs.export` — exporters: JSONL, Chrome trace-event format
+  (Perfetto-viewable, one track per machine), and a text timeline.
+
+Every :class:`~repro.sim.scheduler.Simulator` owns one
+:class:`Observability` bundle as ``sim.obs``. Tracing is **off** by
+default and costs one attribute check per instrumented call site; the
+registry is always on (plain integer/float bumps).
+
+:mod:`repro.obs.breakdown` (imported lazily by the CLI, not here, to
+keep this package import-cycle-free) turns a trace of one Fig. 7
+update run into a wire/sequencer/compute/disk latency attribution.
+"""
+
+from repro.obs.export import to_chrome_trace, to_jsonl, to_text, write_trace
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Observability, TraceEvent, TraceRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "TraceEvent",
+    "TraceRecorder",
+    "to_chrome_trace",
+    "to_jsonl",
+    "to_text",
+    "write_trace",
+]

@@ -1,0 +1,232 @@
+"""Per-node metrics registry: counters, time-weighted gauges, histograms.
+
+Naming convention (documented in docs/OBSERVABILITY.md):
+
+* the **node** is the simulated box that owns the number — a machine
+  address like ``"svc.dir0"``, a device name like ``"disk.svc.0"``, or
+  the segment-wide pseudo-node ``"net"``;
+* the **metric name** is dot-separated ``<layer>.<what>``, e.g.
+  ``group.sequenced``, ``disk.random``, ``dir.writes``.
+
+Instruments are created on first use and cached, so hot paths hold a
+direct reference (``self._c_foo = registry.counter(node, name)``) and
+pay one attribute bump per event. Everything is deterministic: the
+registry never consults wall-clock time or RNGs — gauges integrate
+over *simulated* time via the clock callable handed to the registry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Tuple
+
+Clock = Callable[[], float]
+
+
+class Counter:
+    """A monotonically increasing count (floats allowed, e.g. busy-ms)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A level that varies over simulated time, integrated time-weighted.
+
+    ``set``/``add`` update the level; :meth:`time_weighted_mean` is the
+    integral of the level over simulated time divided by the elapsed
+    window since the gauge was created.
+    """
+
+    __slots__ = ("_clock", "value", "maximum", "minimum", "_area", "_last", "_start")
+
+    def __init__(self, clock: Clock) -> None:
+        self._clock = clock
+        now = clock()
+        self.value: float = 0.0
+        self.maximum: float = 0.0
+        self.minimum: float = 0.0
+        self._area: float = 0.0
+        self._last: float = now
+        self._start: float = now
+
+    def set(self, value: float) -> None:
+        now = self._clock()
+        self._area += self.value * (now - self._last)
+        self._last = now
+        self.value = value
+        if value > self.maximum:
+            self.maximum = value
+        if value < self.minimum:
+            self.minimum = value
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+    def time_weighted_mean(self) -> float:
+        now = self._clock()
+        elapsed = now - self._start
+        if elapsed <= 0.0:
+            return self.value
+        area = self._area + self.value * (now - self._last)
+        return area / elapsed
+
+
+class Histogram:
+    """A distribution of observed values (optionally weighted).
+
+    Keeps every sample — runs are bounded and simulated, so the memory
+    cost is acceptable and exact percentiles beat sketch error bars.
+    """
+
+    __slots__ = ("_values", "_weights", "total_weight", "sum")
+
+    def __init__(self) -> None:
+        self._values: list[float] = []
+        self._weights: list[float] = []
+        self.total_weight: float = 0.0
+        self.sum: float = 0.0
+
+    def observe(self, value: float, weight: float = 1.0) -> None:
+        self._values.append(value)
+        self._weights.append(weight)
+        self.total_weight += weight
+        self.sum += value * weight
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def mean(self) -> float:
+        if self.total_weight <= 0.0:
+            return 0.0
+        return self.sum / self.total_weight
+
+    def percentile(self, p: float) -> float:
+        """Weighted percentile: smallest value covering ``p``% of weight."""
+        if not self._values:
+            return 0.0
+        pairs = sorted(zip(self._values, self._weights))
+        target = (p / 100.0) * self.total_weight
+        cumulative = 0.0
+        for value, weight in pairs:
+            cumulative += weight
+            if cumulative >= target - 1e-12:
+                return value
+        return pairs[-1][0]
+
+    def stddev(self) -> float:
+        if self.total_weight <= 0.0:
+            return 0.0
+        mu = self.mean()
+        var = (
+            sum(w * (v - mu) ** 2 for v, w in zip(self._values, self._weights))
+            / self.total_weight
+        )
+        return math.sqrt(max(var, 0.0))
+
+    def summary(self) -> dict:
+        if not self._values:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": round(self.mean(), 6),
+            "min": round(min(self._values), 6),
+            "p50": round(self.percentile(50.0), 6),
+            "p95": round(self.percentile(95.0), 6),
+            "max": round(max(self._values), 6),
+        }
+
+
+class MetricsRegistry:
+    """All instruments for one simulated world, keyed by (node, name)."""
+
+    def __init__(self, clock: Clock | None = None):
+        self._clock: Clock = clock or (lambda: 0.0)
+        self._counters: Dict[Tuple[str, str], Counter] = {}
+        self._gauges: Dict[Tuple[str, str], Gauge] = {}
+        self._histograms: Dict[Tuple[str, str], Histogram] = {}
+
+    # -- instrument accessors (get-or-create) -----------------------------
+
+    def counter(self, node: str, name: str) -> Counter:
+        key = (node, name)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, node: str, name: str) -> Gauge:
+        key = (node, name)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(self._clock)
+        return instrument
+
+    def histogram(self, node: str, name: str) -> Histogram:
+        key = (node, name)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram()
+        return instrument
+
+    # -- one-shot conveniences (non-hot paths) ----------------------------
+
+    def inc(self, node: str, name: str, amount: float = 1) -> None:
+        self.counter(node, name).inc(amount)
+
+    def set_gauge(self, node: str, name: str, value: float) -> None:
+        self.gauge(node, name).set(value)
+
+    def observe(self, node: str, name: str, value: float, weight: float = 1.0) -> None:
+        self.histogram(node, name).observe(value, weight)
+
+    # -- introspection ----------------------------------------------------
+
+    def nodes(self) -> list[str]:
+        seen = {node for node, _ in self._counters}
+        seen.update(node for node, _ in self._gauges)
+        seen.update(node for node, _ in self._histograms)
+        return sorted(seen)
+
+    def snapshot(self) -> dict:
+        """Deterministically ordered copy of every instrument.
+
+        Shape: ``{node: {"counters": {...}, "gauges": {...},
+        "histograms": {...}}}`` with zero-count sections omitted.
+        """
+        out: dict = {}
+        for node in self.nodes():
+            section: dict = {}
+            counters = {
+                name: c.value
+                for (n, name), c in sorted(self._counters.items())
+                if n == node
+            }
+            if counters:
+                section["counters"] = counters
+            gauges = {
+                name: {
+                    "value": g.value,
+                    "max": g.maximum,
+                    "time_weighted_mean": round(g.time_weighted_mean(), 6),
+                }
+                for (n, name), g in sorted(self._gauges.items())
+                if n == node
+            }
+            if gauges:
+                section["gauges"] = gauges
+            histograms = {
+                name: h.summary()
+                for (n, name), h in sorted(self._histograms.items())
+                if n == node
+            }
+            if histograms:
+                section["histograms"] = histograms
+            out[node] = section
+        return out

@@ -17,6 +17,7 @@ import heapq
 from typing import Any, Callable, Generator, Iterable
 
 from repro.errors import SimulationError
+from repro.obs.trace import Observability
 from repro.sim.future import Future
 from repro.sim.process import Process
 from repro.sim.randomness import RngStreams
@@ -47,6 +48,8 @@ class Simulator:
         self._sequence = 0
         self._processes: list[Process] = []
         self.trace: list[tuple[float, str]] | None = None
+        #: Metrics registry + causal trace recorder (see repro.obs).
+        self.obs = Observability(self)
 
     # -- scheduling ------------------------------------------------------
 

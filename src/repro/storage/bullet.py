@@ -53,6 +53,13 @@ class BulletServer:
         self.instance = instance
         self.port = Port.for_service(f"bullet.{instance}")
         self.cache_files = cache_files
+        self._obs = self.sim.obs
+        registry = self.sim.obs.registry
+        node = f"bullet.{instance}"
+        self._c_creates = registry.counter(node, "bullet.creates")
+        self._c_reads = registry.counter(node, "bullet.reads")
+        self._c_cache_hits = registry.counter(node, "bullet.cache_hits")
+        self._c_deletes = registry.counter(node, "bullet.deletes")
         self._cache: dict[int, bytes] = {}
         self._table: dict[int, int] = {}  # object number -> owner check
         self._next_object = 1
@@ -117,6 +124,7 @@ class BulletServer:
         return ("bullet", self.instance, obj)
 
     def _create(self, data: bytes, cpu):
+        start = self.sim.now
         yield from cpu.use(1.0)
         obj = self._next_object
         self._next_object += 1
@@ -130,6 +138,12 @@ class BulletServer:
         self._table[obj] = check
         if self.cache_files:
             self._cache[obj] = bytes(data)
+        self._c_creates.inc()
+        if self._obs.tracer.enabled:
+            self._obs.tracer.emit(
+                f"bullet.{self.instance}", "bullet", "bullet.create",
+                ph="X", dur=self.sim.now - start, ts=start, bytes=len(data),
+            )
         return owner_capability(self.port, obj, check)
 
     def _validated_object(self, cap: Capability, required: Rights) -> int:
@@ -147,8 +161,10 @@ class BulletServer:
     def _read(self, cap: Capability, cpu):
         obj = self._validated_object(cap, Rights.READ)
         yield from cpu.use(0.5)
+        self._c_reads.inc()
         cached = self._cache.get(obj)
         if cached is not None:
+            self._c_cache_hits.inc()
             return cached
         check_and_data = yield from self.disk.read_extent(
             self._extent_key(obj), 1024, kind="random"
@@ -175,6 +191,7 @@ class BulletServer:
         yield from self.disk.delete_extent(self._extent_key(obj))
         self._table.pop(obj, None)
         self._cache.pop(obj, None)
+        self._c_deletes.inc()
         return True
 
 

@@ -52,6 +52,14 @@ class Disk:
         self._arm = Semaphore(1, f"{name}.arm")
         self.failed = False
         self.ops = {"random": 0, "sequential": 0, "cached": 0}
+        self._obs = sim.obs
+        registry = sim.obs.registry
+        self._c_ops = {
+            kind: registry.counter(name, f"disk.{kind}")
+            for kind in ("random", "sequential", "cached")
+        }
+        self._c_busy = registry.counter(name, "disk.busy_ms")
+        self._h_op_ms = registry.histogram(name, "disk.op_ms")
 
     # -- failure ---------------------------------------------------------
 
@@ -81,9 +89,18 @@ class Disk:
                 delay = self.latency.cached_ms(size_bytes)
             else:
                 raise StorageError(f"unknown disk access kind {kind!r}")
+            start = self.sim.now
             if delay > 0:
                 yield self.sim.sleep(delay)
             self.ops[kind] += 1
+            self._c_ops[kind].inc()
+            self._c_busy.inc(delay)
+            self._h_op_ms.observe(delay)
+            if self._obs.tracer.enabled:
+                self._obs.tracer.emit(
+                    self.name, "disk", f"disk.{kind}",
+                    ph="X", dur=delay, ts=start, bytes=size_bytes,
+                )
         finally:
             self._arm.release()
 

@@ -14,7 +14,7 @@ arrives, both records annihilate without any disk I/O ever happening.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import NvramFull
@@ -61,6 +61,13 @@ class Nvram:
         self._used = 0
         self._next_seqno = 1
         self.stats = NvramStats()
+        self._obs = sim.obs
+        registry = sim.obs.registry
+        self._c_appends = registry.counter(name, "nvram.appends")
+        self._c_annihilations = registry.counter(name, "nvram.annihilations")
+        self._c_flushes = registry.counter(name, "nvram.flushes")
+        self._c_flushed_records = registry.counter(name, "nvram.flushed_records")
+        self._g_used = registry.gauge(name, "nvram.used_bytes")
 
     # -- capacity ----------------------------------------------------------
 
@@ -102,6 +109,13 @@ class Nvram:
         self._records.append(record)
         self._used += needed
         self.stats.appends += 1
+        self._c_appends.inc()
+        self._g_used.set(self._used)
+        if self._obs.tracer.enabled:
+            self._obs.tracer.emit(
+                self.name, "nvram", "nvram.append",
+                op=record.op, bytes=needed, used=self._used,
+            )
 
     def would_fit(self, payload_size: int) -> bool:
         """Whether a record with *payload_size* bytes of payload fits."""
@@ -121,6 +135,13 @@ class Nvram:
             self._records = [r for r in self._records if not predicate(r)]
             self._used -= sum(self.record_size(r) for r in removed)
             self.stats.annihilations += len(removed)
+            self._c_annihilations.inc(len(removed))
+            self._g_used.set(self._used)
+            if self._obs.tracer.enabled:
+                self._obs.tracer.emit(
+                    self.name, "nvram", "nvram.annihilate",
+                    records=len(removed), used=self._used,
+                )
         return removed
 
     def pending_for_key(self, key: Any) -> list[NvramRecord]:
@@ -138,6 +159,9 @@ class Nvram:
             self._used -= sum(self.record_size(r) for r in removed)
             self.stats.flushes += 1
             self.stats.flushed_records += len(removed)
+            self._c_flushes.inc()
+            self._c_flushed_records.inc(len(removed))
+            self._g_used.set(self._used)
         return removed
 
     def drain(self) -> list[NvramRecord]:
@@ -148,6 +172,9 @@ class Nvram:
         if records:
             self.stats.flushes += 1
             self.stats.flushed_records += len(records)
+            self._c_flushes.inc()
+            self._c_flushed_records.inc(len(records))
+            self._g_used.set(0)
         return records
 
     def snapshot(self) -> list[NvramRecord]:

@@ -28,6 +28,21 @@ class Metrics:
     def record_error(self, kind: str) -> None:
         self.errors[kind] = self.errors.get(kind, 0) + 1
 
+    def merge(self, other: "Metrics") -> "Metrics":
+        """Fold *other*'s samples and errors into this collector.
+
+        Used to combine per-shard or per-client collectors into one
+        summary; the merged window spans both inputs. Returns self so
+        merges chain: ``total.merge(a).merge(b)``.
+        """
+        for kind, values in other.samples.items():
+            self.samples.setdefault(kind, []).extend(values)
+        for kind, count in other.errors.items():
+            self.errors[kind] = self.errors.get(kind, 0) + count
+        self.window_start = min(self.window_start, other.window_start)
+        self.window_end = max(self.window_end, other.window_end)
+        return self
+
     # -- summaries ---------------------------------------------------------
 
     def count(self, kind: str) -> int:
@@ -40,12 +55,31 @@ class Metrics:
         values = self.samples.get(kind, [])
         return sum(values) / len(values) if values else math.nan
 
-    def percentile(self, kind: str, p: float) -> float:
+    def percentile(self, kind: str, p: float, method: str = "linear") -> float:
+        """The *p*-th percentile of *kind*'s samples.
+
+        ``method="linear"`` interpolates between the two nearest order
+        statistics (numpy's default definition), so percentiles vary
+        smoothly with p even for small sample counts.
+        ``method="nearest"`` keeps the historical nearest-rank answer
+        (always an observed sample).
+        """
         values = sorted(self.samples.get(kind, []))
         if not values:
             return math.nan
-        rank = min(len(values) - 1, max(0, int(round(p / 100.0 * (len(values) - 1)))))
-        return values[rank]
+        position = p / 100.0 * (len(values) - 1)
+        if method == "nearest":
+            rank = min(len(values) - 1, max(0, int(round(position))))
+            return values[rank]
+        if method != "linear":
+            raise ValueError(f"unknown percentile method {method!r}")
+        position = min(len(values) - 1.0, max(0.0, position))
+        low = int(math.floor(position))
+        high = int(math.ceil(position))
+        if low == high:
+            return values[low]
+        fraction = position - low
+        return values[low] + (values[high] - values[low]) * fraction
 
     def stddev(self, kind: str) -> float:
         values = self.samples.get(kind, [])

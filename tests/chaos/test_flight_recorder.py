@@ -1,0 +1,73 @@
+"""The chaos runner's flight recorder: every verdict carries the ring
+buffer's tail, and failing seeds leave a JSONL dump on disk."""
+
+import json
+
+import repro.chaos.runner as runner
+from repro.chaos import (
+    FLIGHT_RECORDER_CAPACITY,
+    dump_flight_recorder,
+    run_scenario,
+    run_suite,
+    scenario_by_name,
+)
+
+
+def force_failure(monkeypatch):
+    """Make every run a violation by injecting a lost update."""
+    real = runner.check_cluster
+
+    def broken(cluster, history, final_names=None):
+        report = real(cluster, history, final_names)
+        report.lost_updates.append("injected: pretend an update vanished")
+        return report
+
+    monkeypatch.setattr(runner, "check_cluster", broken)
+
+
+class TestVerdictCarriesTrace:
+    def test_passing_run_still_records_events(self):
+        verdict = run_scenario(scenario_by_name("delay_spikes"), 0, smoke=True)
+        assert verdict.ok
+        assert verdict.trace_events
+        assert len(verdict.trace_events) <= FLIGHT_RECORDER_CAPACITY
+        assert verdict.trace_path is None  # nothing dumped for a pass
+
+    def test_as_dict_is_json_serializable(self):
+        verdict = run_scenario(scenario_by_name("delay_spikes"), 0, smoke=True)
+        payload = json.dumps(verdict.as_dict(), sort_keys=True)
+        decoded = json.loads(payload)
+        assert decoded["scenario"] == "delay_spikes"
+        assert decoded["trace_events"] == len(verdict.trace_events)
+        assert decoded["invariants"]["replicas_equal"] is True
+
+
+class TestFailureDump:
+    def test_failing_seed_leaves_a_dump(self, monkeypatch, tmp_path):
+        force_failure(monkeypatch)
+        trace_dir = tmp_path / "flight"
+        verdicts = run_suite(
+            1, smoke=True, only="delay_spikes", trace_dir=str(trace_dir)
+        )
+        (verdict,) = verdicts
+        assert not verdict.ok
+        assert verdict.trace_path is not None
+        dump = trace_dir / "delay_spikes-seed0.jsonl"
+        assert str(dump) == verdict.trace_path
+        lines = dump.read_text().splitlines()
+        assert lines and len(lines) == len(verdict.trace_events)
+        event = json.loads(lines[-1])
+        assert {"ts", "node", "cat", "name"} <= set(event)
+
+    def test_trace_dir_none_disables_dumping(self, monkeypatch, tmp_path):
+        force_failure(monkeypatch)
+        verdicts = run_suite(1, smoke=True, only="delay_spikes", trace_dir=None)
+        assert not verdicts[0].ok
+        assert verdicts[0].trace_path is None
+
+    def test_dump_flight_recorder_noop_without_events(self, tmp_path):
+        verdict = runner.ScenarioVerdict(
+            scenario="x", seed=0, status="error", ok=False,
+            expected_available=True,
+        )
+        assert dump_flight_recorder(verdict, str(tmp_path)) is None

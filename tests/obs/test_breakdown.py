@@ -1,0 +1,79 @@
+"""Phase-attribution tests: the Fig. 7 breakdown must account for
+every simulated millisecond the client observed."""
+
+import math
+
+import pytest
+
+from repro.obs import breakdown
+
+
+@pytest.fixture(scope="module")
+def update_run():
+    return breakdown.record_update_trace("update", iterations=3, seed=0)
+
+
+class TestAttribution:
+    def test_phases_sum_to_each_window(self, update_run):
+        for b in update_run.breakdowns:
+            assert math.isclose(
+                sum(b.phases.values()), b.total, rel_tol=0, abs_tol=1e-9
+            )
+
+    def test_group_update_phases_present(self, update_run):
+        b = update_run.breakdowns[0]
+        assert set(b.phases) == {"wire", "sequencer", "compute", "disk"}
+        assert all(v >= 0.0 for v in b.phases.values())
+        # Fig. 7's headline: the disk dominates the group update.
+        assert b.phases["disk"] > b.total / 2
+
+    def test_missing_markers_raise(self):
+        window = breakdown.OpWindow("append", 0.0, 10.0, 0)
+        with pytest.raises(breakdown.AttributionError):
+            breakdown.attribute_window([], window)
+
+    def test_aggregate_iteration_sums_pair(self, update_run):
+        summary = breakdown.aggregate(update_run.breakdowns)
+        ops = summary["ops"]
+        assert set(ops) == {"append", "delete"}
+        assert math.isclose(
+            summary["iteration"]["total_ms"],
+            ops["append"]["total_ms"] + ops["delete"]["total_ms"],
+        )
+
+
+class TestBenchmarkAgreement:
+    def test_traced_total_matches_untraced_benchmark(self, update_run):
+        check = breakdown.check_against_benchmark(update_run)
+        assert check["ok"], check
+        # Tracing must not perturb the simulation at all.
+        assert check["relative_error"] < 1e-9
+
+    def test_nvram_scenario_swaps_the_persist_phase(self):
+        run = breakdown.record_update_trace(
+            "nvram-update", iterations=2, seed=0
+        )
+        b = run.breakdowns[0]
+        assert "nvram" in b.phases and "disk" not in b.phases
+        check = breakdown.check_against_benchmark(run)
+        assert check["ok"], check
+
+    def test_lookup_scenario_has_no_storage_phase(self):
+        run = breakdown.record_update_trace("lookup", iterations=2, seed=0)
+        for b in run.breakdowns:
+            assert set(b.phases) == {"wire", "compute"}
+        assert breakdown.check_against_benchmark(run)["ok"]
+
+
+class TestFormatting:
+    def test_table_lists_every_phase_column(self, update_run):
+        table = breakdown.format_table(
+            breakdown.aggregate(update_run.breakdowns), "update", "group"
+        )
+        for column in ("wire", "sequencer", "compute", "disk"):
+            assert column in table
+        assert "iteration" in table
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            breakdown.record_update_trace("bogus")

@@ -1,0 +1,97 @@
+"""Unit tests for the per-node metrics registry."""
+
+import math
+
+from repro.obs import MetricsRegistry
+
+
+def make_clock(holder):
+    return lambda: holder["now"]
+
+
+class TestCounter:
+    def test_inc_defaults_and_amounts(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n0", "ops")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        a = registry.counter("n0", "ops")
+        b = registry.counter("n0", "ops")
+        assert a is b
+        registry.inc("n0", "ops", 2)
+        assert a.value == 2
+
+    def test_nodes_are_independent(self):
+        registry = MetricsRegistry()
+        registry.inc("n0", "ops")
+        registry.inc("n1", "ops", 3)
+        assert registry.counter("n0", "ops").value == 1
+        assert registry.counter("n1", "ops").value == 3
+
+
+class TestGauge:
+    def test_extremes_tracked(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("n0", "depth")
+        gauge.set(5.0)
+        gauge.set(2.0)
+        gauge.add(10.0)
+        assert gauge.value == 12.0
+        assert gauge.maximum == 12.0
+        assert gauge.minimum == 0.0
+
+    def test_time_weighted_mean_is_the_area_integral(self):
+        holder = {"now": 0.0}
+        registry = MetricsRegistry(clock=make_clock(holder))
+        gauge = registry.gauge("n0", "depth")
+        gauge.set(1.0)  # value 0 for [0, 0] then 1 from t=0
+        holder["now"] = 2.0
+        gauge.set(3.0)  # 1 * 2ms so far
+        holder["now"] = 3.0
+        # area = 1*2 + 3*1 = 5 over 3 ms
+        assert math.isclose(gauge.time_weighted_mean(), 5.0 / 3.0)
+
+
+class TestHistogram:
+    def test_summary_shape(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("n0", "lat")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(v)
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert math.isclose(summary["mean"], 2.5)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["p50"] in (2.0, 3.0)
+
+    def test_weighted_percentile(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("n0", "lat")
+        hist.observe(1.0, weight=99.0)
+        hist.observe(100.0, weight=1.0)
+        assert hist.percentile(50) == 1.0
+        assert hist.percentile(100) == 100.0
+
+
+class TestSnapshot:
+    def test_snapshot_is_deterministic_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("b", "z")
+        registry.inc("a", "y")
+        registry.inc("a", "x", 2)
+        snap = registry.snapshot()
+        assert list(snap) == ["a", "b"]
+        assert list(snap["a"]["counters"]) == ["x", "y"]
+        assert snap["a"]["counters"]["x"] == 2
+
+    def test_empty_sections_omitted(self):
+        registry = MetricsRegistry()
+        registry.inc("n0", "ops")
+        snap = registry.snapshot()
+        assert "gauges" not in snap["n0"]
+        assert "histograms" not in snap["n0"]

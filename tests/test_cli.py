@@ -40,3 +40,57 @@ class TestChaosCli:
         assert status == 0
         assert "1/1 scenario runs passed" in out
         assert "all invariants held" in out
+
+    def test_json_output_is_machine_readable(self, capsys):
+        import json
+
+        status = main(
+            [
+                "--seeds", "1", "--smoke", "--scenario", "delay_spikes",
+                "--json", "chaos",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        doc = json.loads(out)
+        assert doc["passed"] == doc["total"] == 1
+        (verdict,) = doc["verdicts"]
+        assert verdict["scenario"] == "delay_spikes"
+        assert verdict["status"] == "consistent"
+        assert verdict["trace_events"] > 0
+
+
+class TestTraceCli:
+    def test_update_scenario_breakdown_and_exports(self, capsys, tmp_path):
+        import json
+
+        out_dir = tmp_path / "traces"
+        status = main(
+            ["--iterations", "2", "trace", "update", "--out", str(out_dir)]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "sequencer" in out and "disk" in out
+        assert "within 5%" in out
+        chrome = json.loads((out_dir / "update-seed0.trace.json").read_text())
+        assert chrome["traceEvents"]
+        jsonl = (out_dir / "update-seed0.jsonl").read_text().splitlines()
+        assert jsonl and json.loads(jsonl[0])
+
+    def test_single_format_flag(self, capsys, tmp_path):
+        out_dir = tmp_path / "traces"
+        status = main(
+            [
+                "--iterations", "2", "trace", "lookup",
+                "--format", "text", "--out", str(out_dir),
+            ]
+        )
+        assert status == 0
+        assert (out_dir / "lookup-seed0.txt").exists()
+        assert not (out_dir / "lookup-seed0.jsonl").exists()
+
+    def test_unknown_scenario_rejected(self, capsys, tmp_path):
+        status = main(["trace", "bogus", "--out", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert status == 2
+        assert "unknown trace scenario" in out
