@@ -177,6 +177,37 @@ def lookup_throughput(
     return metrics.throughput_per_second("lookup", window)
 
 
+def update_latency(
+    impl: str,
+    iterations: int = 20,
+    seed: int = 0,
+    **deploy_kwargs,
+) -> float:
+    """Mean single-client append-delete pair latency (ms).
+
+    Unlike :func:`fig7_cell` this accepts deployment overrides, so the
+    group-commit bench can compare ``batch_max=1`` against the batched
+    default on otherwise identical deployments.
+    """
+    deployment = build_deployment(impl, seed=seed, **deploy_kwargs)
+    client = deployment.add_client("bench")
+    sim = deployment.sim
+    root = deployment.root
+    out = {}
+
+    def driver():
+        target = yield from client.create_dir()
+        samples = []
+        for i in range(iterations):
+            start = sim.now
+            yield from append_delete_once(client, root, f"t{i}", target)
+            samples.append(sim.now - start)
+        out["mean"] = sum(samples) / len(samples)
+
+    deployment.cluster.run_process(driver())
+    return out["mean"]
+
+
 def update_throughput(
     impl: str,
     n_clients: int,

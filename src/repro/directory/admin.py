@@ -162,6 +162,71 @@ class AdminPartition:
         self.entries[obj] = (cap, seqno)
         self.entry_checks[obj] = check
 
+    def commit_batch(
+        self,
+        stores,
+        removals=(),
+        commit_seqno: int | None = None,
+        commit_next_object: int | None = None,
+    ):
+        """Group-commit several object-table updates in ONE disk flush.
+
+        *stores* is a list of ``(obj, cap, seqno, check)`` tuples (the
+        batch's final image of each touched directory), *removals* a
+        list of deleted object numbers. The shadow block gets the
+        packed images of every stored entry (the batch journal), then
+        every home block, every removal's blanked block, and — when the
+        batch contained deletions — the commit block, all in a single
+        multi-block write priced as one seek plus a sequential
+        transfer (:meth:`~repro.storage.disk.Disk.write_blocks`).
+
+        Atomicity matches the singleton shadow-page commit: the disk
+        exposes all blocks of the batch together, and a crash before
+        the flush completes loses the whole batch — which is safe,
+        because every record in it is still r-safe in the group and is
+        replayed by recovery (see docs/PROTOCOL.md, "Group commit").
+        """
+        writes: list[tuple[int, bytes]] = []
+        journal = b""
+        for obj, cap, seqno, check in stores:
+            block = self._block_of.get(obj)
+            if block is None:
+                if not self._free_blocks:
+                    raise StorageError("object table is full")
+                block = self._free_blocks.pop(0)
+                self._block_of[obj] = block
+            encoded = self._encode_entry(obj, cap, seqno, check)
+            journal += encoded
+            writes.append((block, encoded))
+        # The packed journal replaces the per-entry shadow write; a
+        # batch bigger than one block's worth of images simply spills
+        # into the same shadow block sequentially (one arm pass).
+        writes = [
+            (SHADOW_BLOCK, journal[offset:offset + 1024])
+            for offset in range(0, len(journal), 1024)
+        ] + writes
+        touched_commit = False
+        for obj in removals:
+            block = self._block_of.pop(obj, None)
+            if block is not None:
+                writes.append((block, b""))
+                self._free_blocks.append(block)
+            self.entries.pop(obj, None)
+            self.entry_checks.pop(obj, None)
+            touched_commit = True
+        if touched_commit:
+            if commit_seqno is not None:
+                self.commit.seqno = commit_seqno
+            if commit_next_object is not None:
+                self.commit.next_object = max(
+                    self.commit.next_object, commit_next_object
+                )
+            writes.append((COMMIT_BLOCK, self.commit.to_bytes()))
+        yield from self.partition.write_blocks(writes)
+        for obj, cap, seqno, check in stores:
+            self.entries[obj] = (cap, seqno)
+            self.entry_checks[obj] = check
+
     def remove_entry(self, obj: int, commit_seqno: int, next_object: int = 0):
         """Drop a directory's entry and record the deletion in the
         commit block's sequence number (the paper's rationale for

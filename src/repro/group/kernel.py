@@ -562,12 +562,25 @@ class GroupKernel:
                 "next_assign": self.next_assign,
             },
         )
+        # The sequencer's own heartbeat traffic is this tick; keeping
+        # the stamp fresh matters if this kernel later demotes to an
+        # ordinary member without an intervening view adoption.
+        self.last_heartbeat = self.sim.now
         self._prune_history()
         timeout = self.timings.echo_timeout_ms
         for member in list(self.view):
             if member == self.me:
                 continue
-            last = self.last_echo.get(member, self.last_heartbeat)
+            last = self.last_echo.get(member)
+            if last is None:
+                # Never-echoed member (e.g. freshly joined and not yet
+                # stamped by every code path): its eviction clock
+                # starts at the first tick that observes it, NOT at the
+                # stale ``last_heartbeat`` of ticker start-up — judging
+                # a quiet-but-alive joiner against that old baseline
+                # evicted it spuriously right after a view change.
+                self.last_echo[member] = self.sim.now
+                continue
             if self.sim.now - last > timeout:
                 self.fail_group(f"member {member!r} stopped echoing", announce=True)
                 return

@@ -172,6 +172,25 @@ class GroupMember:
                     return record
             yield kernel.wakeup.wait()
 
+    def receive_ready(self, limit: int | None = None) -> list[BcRecord]:
+        """Drain every currently deliverable message without blocking.
+
+        Returns the (possibly empty) list of records that were already
+        committed and buffered, in total order — the group-commit
+        batching hook: after a blocking :meth:`receive` returns the
+        head of a burst, the application grabs the rest of the burst
+        here and persists the whole batch in one storage operation.
+        *limit* bounds the drain (``None`` = everything deliverable).
+        Costs zero simulated time and never raises.
+        """
+        batch: list[BcRecord] = []
+        while limit is None or len(batch) < limit:
+            record = self.try_receive()
+            if record is None:
+                break
+            batch.append(record)
+        return batch
+
     def try_receive(self) -> BcRecord | None:
         """Non-blocking receive; None when nothing is deliverable."""
         kernel = self.kernel

@@ -79,6 +79,13 @@ class DiskLatency:
         """One controller-cached (write-behind) operation."""
         return self.cached_write_ms + (size_bytes / 1024.0) * 0.1
 
+    def batch_ms(self, size_bytes: int) -> float:
+        """One multi-block group-commit write: a single seek and
+        rotational delay, then the whole batch streams sequentially.
+        This is the amortization the group-commit pipeline buys — n
+        blocks cost one arm movement instead of n."""
+        return self.seek_ms + self.rotation_ms + (size_bytes / 1024.0) * self.per_kb_ms
+
     def access_time(self, size_bytes: int, cached: bool = False) -> float:
         """Back-compat helper: random access, or cached when asked."""
         if cached:

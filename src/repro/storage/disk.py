@@ -51,15 +51,16 @@ class Disk:
         self._extents: dict[Hashable, Any] = {}
         self._arm = Semaphore(1, f"{name}.arm")
         self.failed = False
-        self.ops = {"random": 0, "sequential": 0, "cached": 0}
+        self.ops = {"random": 0, "sequential": 0, "cached": 0, "batch": 0}
         self._obs = sim.obs
         registry = sim.obs.registry
         self._c_ops = {
             kind: registry.counter(name, f"disk.{kind}")
-            for kind in ("random", "sequential", "cached")
+            for kind in ("random", "sequential", "cached", "batch")
         }
         self._c_busy = registry.counter(name, "disk.busy_ms")
         self._h_op_ms = registry.histogram(name, "disk.op_ms")
+        self._h_queue_ms = registry.histogram(name, "disk.queue_ms")
 
     # -- failure ---------------------------------------------------------
 
@@ -76,9 +77,19 @@ class Disk:
     # -- timing core --------------------------------------------------------
 
     def _occupy(self, kind: str, size_bytes: int):
-        """Hold the arm for one operation of *kind*; charge its time."""
+        """Hold the arm for one operation of *kind*; charge its time.
+
+        Time spent waiting for the arm (another op in flight) is
+        measured separately from service time: ``disk.op_ms`` is pure
+        service, ``disk.queue_ms`` is the contention wait, and the
+        trace event carries both so the queueing created by concurrent
+        storage users is visible rather than silently folded into the
+        caller's apparent compute time.
+        """
         self._check()
+        queued_at = self.sim.now
         yield self._arm.acquire()
+        queue_ms = self.sim.now - queued_at
         try:
             self._check()
             if kind == "random":
@@ -87,6 +98,8 @@ class Disk:
                 delay = self.latency.sequential_ms(size_bytes)
             elif kind == "cached":
                 delay = self.latency.cached_ms(size_bytes)
+            elif kind == "batch":
+                delay = self.latency.batch_ms(size_bytes)
             else:
                 raise StorageError(f"unknown disk access kind {kind!r}")
             start = self.sim.now
@@ -96,10 +109,12 @@ class Disk:
             self._c_ops[kind].inc()
             self._c_busy.inc(delay)
             self._h_op_ms.observe(delay)
+            self._h_queue_ms.observe(queue_ms)
             if self._obs.tracer.enabled:
                 self._obs.tracer.emit(
                     self.name, "disk", f"disk.{kind}",
                     ph="X", dur=delay, ts=start, bytes=size_bytes,
+                    queue=round(queue_ms, 6),
                 )
         finally:
             self._arm.release()
@@ -119,6 +134,30 @@ class Disk:
             raise StorageError(f"block write of {len(data)} bytes exceeds block size")
         yield from self._occupy(kind, max(len(data), BLOCK_SIZE))
         self._blocks[index] = bytes(data)
+
+    def write_blocks(self, writes):
+        """Group-commit write of several blocks in one arm operation.
+
+        *writes* is a list of ``(index, data)`` pairs. The whole batch
+        is priced as one seek + rotational delay + sequential transfer
+        of every block (:meth:`DiskLatency.batch_ms`); all blocks
+        become visible together when the operation completes, so a
+        concurrent reader never observes a half-applied batch.
+        """
+        if not writes:
+            return
+        total = 0
+        for index, data in writes:
+            if not 0 <= index < self.block_count:
+                raise StorageError(f"block {index} out of range on {self.name}")
+            if len(data) > BLOCK_SIZE:
+                raise StorageError(
+                    f"block write of {len(data)} bytes exceeds block size"
+                )
+            total += max(len(data), BLOCK_SIZE)
+        yield from self._occupy("batch", total)
+        for index, data in writes:
+            self._blocks[index] = bytes(data)
 
     def read_block(self, index: int, kind: str = "random"):
         """Read one block synchronously; missing blocks read as empty."""
@@ -193,6 +232,13 @@ class RawPartition:
     def write_block(self, index: int, data: bytes, kind: str = "random"):
         """Synchronous write of partition-relative block *index*."""
         yield from self.disk.write_block(self._translate(index), data, kind)
+
+    def write_blocks(self, writes):
+        """Group-commit write of partition-relative ``(index, data)``
+        pairs in a single arm operation (see :meth:`Disk.write_blocks`)."""
+        yield from self.disk.write_blocks(
+            [(self._translate(index), data) for index, data in writes]
+        )
 
     def read_block(self, index: int, kind: str = "random"):
         """Synchronous read of partition-relative block *index*."""

@@ -1,0 +1,183 @@
+"""Group-commit batching: equivalence with the unbatched path.
+
+The contract of the batching pipeline is that it may only change the
+*storage schedule* — which disk operations happen when — never the
+replicated outcome. These tests run one fixed concurrent workload
+under ``batch_max ∈ {1, 4, 16}`` and require byte-identical directory
+state, byte-identical commit blocks, and identical object-table entry
+seqnos across all three configurations.
+
+The workload is built so its total order is pinned: every writer
+performs exactly ONE update, launched at staggered instants that all
+fall inside the first record's persist window. Sequencing order is
+then fixed before batching can influence any timing, so any
+divergence across batch sizes is a real batching bug, not workload
+noise.
+"""
+
+import pytest
+
+from repro.cluster import GroupServiceCluster
+from repro.directory.admin import COMMIT_BLOCK
+from repro.directory.config import ServiceConfig
+
+
+def run_workload(batch_max, seed=11, trace=False):
+    cluster = GroupServiceCluster(
+        seed=seed, name="bt", server_threads=8, batch_max=batch_max
+    )
+    cluster.start()
+    cluster.wait_operational()
+    if trace:
+        cluster.sim.obs.tracer.enable()
+    sim = cluster.sim
+    root = cluster.root_capability
+
+    # Sequential setup: subdirectories whose later deletion exercises
+    # the commit block's seqno/next_object bookkeeping.
+    setup = cluster.add_client("setup")
+    holder = {}
+
+    def do_setup():
+        caps = []
+        for i in range(3):
+            cap = yield from setup.create_dir()
+            yield from setup.append_row(root, f"sub{i}", (cap,))
+            caps.append(cap)
+        holder["subs"] = caps
+
+    cluster.run_process(do_setup())
+    subs = holder["subs"]
+
+    # Concurrent phase: one update per client, staggered 3 ms apart.
+    ops = []
+    for i in range(6):
+        c = cluster.add_client(f"w{i}")
+        ops.append(lambda c=c, i=i: c.append_row(root, f"row{i}", (subs[0],)))
+    c6 = cluster.add_client("w6")
+    ops.append(lambda: c6.create_dir())
+    c7 = cluster.add_client("w7")
+    ops.append(lambda: c7.create_dir())
+    c8 = cluster.add_client("w8")
+    ops.append(lambda: c8.delete_dir(subs[1]))
+    c9 = cluster.add_client("w9")
+    ops.append(lambda: c9.delete_dir(subs[2]))
+    c10 = cluster.add_client("w10")
+    ops.append(lambda: c10.delete_row(root, "sub1"))
+    c11 = cluster.add_client("w11")
+    ops.append(lambda: c11.chmod_row(root, "sub0", 0b011, (subs[0],)))
+
+    def one_shot(delay, fn):
+        def runner():
+            yield sim.sleep(delay)
+            yield from fn()
+
+        return runner
+
+    procs = [
+        sim.spawn(one_shot(3.0 * i, fn)(), f"op{i}")
+        for i, fn in enumerate(ops)
+    ]
+
+    def waiter():
+        for proc in procs:
+            yield proc
+        yield sim.sleep(1_000.0)  # settle: replies, gc, commits
+
+    cluster.run_process(waiter())
+    return cluster
+
+
+def state_digest(cluster):
+    """Everything the equivalence contract covers, per server."""
+    out = []
+    for server in cluster.servers:
+        out.append(
+            {
+                "fingerprint": server.state.fingerprint(),
+                "update_seqno": server.state.update_seqno,
+                "next_object": server.state.next_object,
+                "entry_seqnos": {
+                    obj: seqno
+                    for obj, (_, seqno) in sorted(server.admin.entries.items())
+                },
+                "entry_checks": dict(sorted(server.admin.entry_checks.items())),
+                "commit_block": server.admin.partition.peek_block(COMMIT_BLOCK),
+            }
+        )
+    return out
+
+
+class TestBatchedUnbatchedEquivalence:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        return {bm: run_workload(bm) for bm in (1, 4, 16)}
+
+    def test_replicas_consistent_within_each_run(self, runs):
+        for bm, cluster in runs.items():
+            assert cluster.replicas_consistent(), f"batch_max={bm}"
+
+    def test_state_and_commit_blocks_identical_across_batch_sizes(self, runs):
+        digests = {bm: state_digest(cluster) for bm, cluster in runs.items()}
+        assert digests[1] == digests[4], "batch_max=4 diverged from unbatched"
+        assert digests[1] == digests[16], "batch_max=16 diverged from unbatched"
+
+    def test_batches_actually_formed(self, runs):
+        sizes = []
+        for server in runs[16].servers:
+            hist = runs[16].sim.obs.registry.histogram(
+                str(server.me), "dir.batch_size"
+            )
+            sizes.extend(hist._values)
+        assert sizes and max(sizes) >= 2, "no multi-record batch ever formed"
+
+    def test_batch_max_bounds_batch_size(self, runs):
+        for server in runs[4].servers:
+            hist = runs[4].sim.obs.registry.histogram(
+                str(server.me), "dir.batch_size"
+            )
+            assert all(size <= 4 for size in hist._values)
+
+    def test_unbatched_run_records_no_batches(self, runs):
+        for server in runs[1].servers:
+            hist = runs[1].sim.obs.registry.histogram(
+                str(server.me), "dir.batch_size"
+            )
+            assert hist.count == 0
+
+
+class TestBatchTracing:
+    def test_batched_run_emits_dir_batch_events(self):
+        cluster = run_workload(16, trace=True)
+        events = [
+            e for e in cluster.sim.obs.tracer.events() if e.name == "dir.batch"
+        ]
+        assert events, "batching enabled but no dir.batch events"
+        assert any(e.args["size"] >= 2 for e in events)
+        for e in events:
+            assert e.args["first"] <= e.args["last"]
+
+    def test_batch_max_1_trace_is_batch_free(self):
+        """batch_max=1 must be bit-for-bit the old behavior — that
+        includes never emitting batching trace events."""
+        cluster = run_workload(1, trace=True)
+        names = {e.name for e in cluster.sim.obs.tracer.events()}
+        assert "dir.batch" not in names
+
+    def test_batched_trace_is_deterministic(self):
+        def trace_tuple(cluster):
+            return [
+                (e.ts, e.node, e.cat, e.name, e.ph, e.dur, e.lineage,
+                 tuple(sorted(e.args.items())))
+                for e in cluster.sim.obs.tracer.events()
+            ]
+
+        first = run_workload(16, trace=True)
+        second = run_workload(16, trace=True)
+        assert trace_tuple(first) == trace_tuple(second)
+
+
+class TestDefaults:
+    def test_batching_on_by_default(self):
+        config = ServiceConfig(name="x", server_addresses=("a", "b", "c"))
+        assert config.batch_max > 1

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.cluster import GroupServiceCluster
-from repro.directory.operations import CreateDir
-from repro.errors import CapabilityError, NoMajority
+from repro.directory.operations import AppendRow, CreateDir
+from repro.errors import CapabilityError, GroupFailure, NoMajority, ServiceDown
 
 
 @pytest.fixture
@@ -75,6 +75,90 @@ class TestApplyResultBookkeeping:
         cluster.run_process(work())
         applied = {s._applied_kernel for s in cluster.servers}
         assert applied == {5}  # 6 updates, kernel seqnos 0..5
+
+
+class _FakeHandle:
+    """Stands in for an RPC request handle in direct _handle_write calls."""
+
+    def __init__(self):
+        self.replies = []
+        self.errors = []
+
+    def reply(self, result, size=0):
+        self.replies.append(result)
+
+    def error(self, exc):
+        self.errors.append(exc)
+
+
+class TestApplyResultLeak:
+    """Regression: a writer that aborts on GroupFailure between
+    send_to_group and wait_applied used to leave its entry in
+    _apply_results forever — one leaked dict entry per injected
+    failure."""
+
+    def _injecting(self, server, *, before_apply):
+        """Wrap wait_applied so it raises GroupFailure — either
+        immediately (the apply has not happened yet) or after the real
+        wait (the apply result is already stored)."""
+        real = server.member.wait_applied
+
+        def fake(target_seqno, applied):
+            if not before_apply:
+                yield from real(target_seqno, applied)
+            raise GroupFailure("injected")
+            yield  # pragma: no cover - make this a generator
+
+        server.member.wait_applied = fake
+
+    def _drive_writes(self, cluster, server, n, tag):
+        root = cluster.root_capability
+        handles = []
+
+        def work():
+            for i in range(n):
+                handle = _FakeHandle()
+                handles.append(handle)
+                yield from server._handle_write(
+                    AppendRow(root, f"{tag}{i}", (root,)), handle
+                )
+            yield cluster.sim.sleep(2_000.0)  # let every apply land
+
+        cluster.run_process(work())
+        return handles
+
+    def test_no_leak_when_failure_follows_apply(self, cluster):
+        server = cluster.servers[0]
+        self._injecting(server, before_apply=False)
+        handles = self._drive_writes(cluster, server, 5, "late")
+        for handle in handles:
+            assert len(handle.errors) == 1
+            assert isinstance(handle.errors[0], ServiceDown)
+        # The old code left 5 entries here (one per injected failure).
+        assert server._apply_results == {}
+        assert server._abandoned_results == set()
+
+    def test_no_leak_when_failure_precedes_apply(self, cluster):
+        server = cluster.servers[0]
+        self._injecting(server, before_apply=True)
+        handles = self._drive_writes(cluster, server, 5, "early")
+        for handle in handles:
+            assert isinstance(handle.errors[0], ServiceDown)
+        # The abandon landed before the apply: the tombstone kept the
+        # group thread from storing the result, then got pruned.
+        assert server._apply_results == {}
+        assert server._abandoned_results == set()
+
+    def test_updates_still_applied_despite_abandoned_replies(self, cluster):
+        server = cluster.servers[0]
+        self._injecting(server, before_apply=False)
+        self._drive_writes(cluster, server, 3, "r")
+        # The updates were r-safe when abandoned, so every replica
+        # (including the abandoning one) still applied them.
+        for replica in cluster.servers:
+            names = {row.name for row in replica.state.directories[1].rows()}
+            assert {"r0", "r1", "r2"} <= names
+        assert cluster.replicas_consistent()
 
 
 class TestCounters:

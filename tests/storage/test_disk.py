@@ -108,7 +108,7 @@ class TestBlockStore:
             yield from disk.read_block(0)
 
         run(sim, work())
-        assert disk.ops == {"random": 2, "sequential": 0, "cached": 1}
+        assert disk.ops == {"random": 2, "sequential": 0, "cached": 1, "batch": 0}
         assert disk.total_ops == 3
 
     def test_peek_is_zero_time(self):
@@ -121,6 +121,121 @@ class TestBlockStore:
         before = sim.now
         assert disk.peek_block(2) == b"z"
         assert sim.now == before
+
+
+class TestWriteBlocks:
+    def test_batch_prices_one_seek_plus_sequential_transfer(self):
+        sim, disk = make_disk()
+        writes = [(i, bytes([i]) * 1024) for i in range(8)]
+
+        def work():
+            yield from disk.write_blocks(writes)
+
+        run(sim, work())
+        lat = disk.latency
+        expected = lat.seek_ms + lat.rotation_ms + 8 * 1024 / 1024.0 * lat.per_kb_ms
+        assert sim.now == pytest.approx(expected, rel=0.001)
+        # Far cheaper than eight separate random writes.
+        assert sim.now < 8 * lat.random_ms(1024) / 3
+
+    def test_batch_contents_and_counters(self):
+        sim, disk = make_disk()
+
+        def work():
+            yield from disk.write_blocks([(0, b"a"), (5, b"b")])
+
+        run(sim, work())
+        assert disk.peek_block(0) == b"a"
+        assert disk.peek_block(5) == b"b"
+        assert disk.ops["batch"] == 1
+        assert disk.total_ops == 1
+
+    def test_empty_batch_is_free(self):
+        sim, disk = make_disk()
+
+        def work():
+            yield from disk.write_blocks([])
+
+        run(sim, work())
+        assert sim.now == 0.0
+        assert disk.total_ops == 0
+
+    def test_batch_validates_before_writing_anything(self):
+        sim, disk = make_disk(blocks=10)
+
+        def work():
+            yield from disk.write_blocks([(0, b"good"), (10, b"bad")])
+
+        process = sim.spawn(work())
+        sim.run()
+        assert isinstance(process.exception, StorageError)
+        assert disk.peek_block(0) == b""  # nothing was written
+
+    def test_partition_batch_translates_blocks(self):
+        sim, disk = make_disk()
+        part = RawPartition(disk, start=50, length=10)
+
+        def work():
+            yield from part.write_blocks([(0, b"commit"), (3, b"entry")])
+
+        run(sim, work())
+        assert disk.peek_block(50) == b"commit"
+        assert disk.peek_block(53) == b"entry"
+
+
+class TestQueueAccounting:
+    """The arm-contention wait is measured separately from service
+    time (regression: it used to be invisible — timing started only
+    after ``Semaphore.acquire``)."""
+
+    def test_queue_wait_not_counted_as_service_time(self):
+        sim, disk = make_disk()
+
+        def work():
+            yield from disk.write_block(0, b"a")
+
+        sim.spawn(work())
+        sim.spawn(work())
+        sim.run()
+        single = disk.latency.random_ms(1024)
+        op_ms = sim.obs.registry.histogram("d0", "disk.op_ms")
+        queue_ms = sim.obs.registry.histogram("d0", "disk.queue_ms")
+        # Both ops report pure service time...
+        assert op_ms.count == 2
+        assert max(op_ms._values) == pytest.approx(single, rel=0.001)
+        # ...and the second op's wait shows up as queue time.
+        assert queue_ms.count == 2
+        assert sorted(queue_ms._values)[0] == pytest.approx(0.0, abs=1e-9)
+        assert sorted(queue_ms._values)[1] == pytest.approx(single, rel=0.001)
+
+    def test_uncontended_op_has_zero_queue_time(self):
+        sim, disk = make_disk()
+
+        def work():
+            yield from disk.write_block(0, b"a")
+
+        run(sim, work())
+        queue_ms = sim.obs.registry.histogram("d0", "disk.queue_ms")
+        assert queue_ms.count == 1
+        assert queue_ms.sum == 0.0
+
+    def test_trace_event_carries_queue_field(self):
+        sim, disk = make_disk()
+        sim.obs.tracer.enable()
+
+        def work():
+            yield from disk.write_block(0, b"a")
+
+        sim.spawn(work())
+        sim.spawn(work())
+        sim.run()
+        events = [
+            e for e in sim.obs.tracer.events() if e.name == "disk.random"
+        ]
+        assert len(events) == 2
+        queues = sorted(e.args["queue"] for e in events)
+        assert queues[0] == 0.0
+        assert queues[1] == pytest.approx(disk.latency.random_ms(1024), rel=0.001)
 
 
 class TestExtentStore:
