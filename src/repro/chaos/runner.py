@@ -26,15 +26,18 @@ exactly like the soak tests in ``tests/integration/test_chaos.py``.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import pathlib
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.chaos.nemesis import build_nemesis
-from repro.errors import ReproError, SimulationError
+from repro.errors import DirectoryError, ReproError, SimulationError
 from repro.faults.plan import FaultPlan
 from repro.net.policy import Drop, Duplicate, Delay, LinkFilter, Reorder
 from repro.obs.export import to_jsonl
+from repro.rpc.client import RpcTimings
 from repro.verify import HistoryRecorder, InvariantReport, check_cluster
 
 #: Simulated ms of fault-free tail after the fault window, long enough
@@ -67,6 +70,21 @@ class Scenario:
     #: Scenarios excluded from the default seed rotation (negative
     #: tests that deliberately destroy the majority).
     in_rotation: bool = True
+    #: Clients use the exactly-once session layer (retry-safe mode)
+    #: and blindly resend mutations on RPC failure.
+    retry_safe: bool = False
+    #: Clients contend on a small set of shared keys; the verdict then
+    #: uses the shared-key linearizability checker instead of the
+    #: private-key session-guarantee checks.
+    shared_keys: bool = False
+    #: Server-side session dedup. Disable to demonstrate the checker
+    #: is not vacuous: retried-but-committed updates then surface as
+    #: linearizability violations / duplicate applies.
+    dedup: bool = True
+    #: Override the flight-recorder ring size (None = default).
+    #: Shared-key scenarios need the whole window's apply events so
+    #: the duplicate-apply scan sees both halves of a duplicate pair.
+    flight_recorder_capacity: int | None = None
 
 
 @dataclass
@@ -88,6 +106,10 @@ class ScenarioVerdict:
     #: buffer of FLIGHT_RECORDER_CAPACITY), and where they were dumped.
     trace_events: list = field(default_factory=list)
     trace_path: str | None = None
+    #: The recorded client history (for shared-key runs it is dumped
+    #: next to the flight recorder so violations can be replayed).
+    history_events: list = field(default_factory=list)
+    history_path: str | None = None
 
     def as_dict(self) -> dict:
         """JSON-serializable form (``python -m repro chaos --json``)."""
@@ -120,6 +142,10 @@ class ScenarioVerdict:
                     v.explanation for v in self.report.session_violations
                 ],
                 "lost_updates": list(self.report.lost_updates),
+                "linearizability_violations": list(
+                    self.report.linearizability_violations
+                ),
+                "duplicate_applies": list(self.report.duplicate_applies),
             }
         return out
 
@@ -198,6 +224,31 @@ def build_delay_spikes(cluster, rng, start_ms, window_ms) -> FaultPlan:
     timeouts now and then, forcing spurious failure detection."""
     policies = [
         Delay("chaos.spike", probability=0.04, min_ms=20.0, max_ms=80.0)
+    ]
+    return _policy_plan(start_ms, window_ms, policies)
+
+
+def build_retry_storm(cluster, rng, start_ms, window_ms) -> FaultPlan:
+    """The exactly-once gauntlet: drop a quarter of server replies and
+    stall some requests for longer than the clients' reply timeout, so
+    retry-safe clients blindly resend operations whose first attempt
+    often *committed*. Without the session layer this yields duplicate
+    applications and spurious AlreadyExists/NotFound answers; with it,
+    the dedup cache must answer every resend from the original reply."""
+    addrs = _dir_addresses(cluster)
+    policies = [
+        Drop(
+            "retry.replydrop",
+            LinkFilter(src=tuple(addrs), kind="rpc.reply"),
+            probability=0.25,
+        ),
+        Delay(
+            "retry.lag",
+            LinkFilter(dst=tuple(addrs), kind="rpc.request"),
+            probability=0.15,
+            min_ms=1_500.0,
+            max_ms=4_000.0,
+        ),
     ]
     return _policy_plan(start_ms, window_ms, policies)
 
@@ -286,6 +337,28 @@ SCENARIOS: list[Scenario] = [
         build_grand_tour,
     ),
     Scenario(
+        "retry_storm",
+        "reply loss + >timeout request lag against retry-safe clients "
+        "contending on shared keys: exactly-once or bust",
+        build_retry_storm,
+        retry_safe=True,
+        shared_keys=True,
+        n_clients=4,
+        flight_recorder_capacity=65_536,
+    ),
+    Scenario(
+        "retry_storm_nodedup",
+        "NEGATIVE: the same storm with server-side dedup disabled — "
+        "the linearizability checker must catch the duplicates",
+        build_retry_storm,
+        retry_safe=True,
+        shared_keys=True,
+        dedup=False,
+        n_clients=4,
+        flight_recorder_capacity=65_536,
+        in_rotation=False,
+    ),
+    Scenario(
         "rpc_dup_reorder",
         "RPC baseline under duplication + bounded reordering",
         lambda cluster, rng, start, window: _policy_plan(
@@ -340,6 +413,7 @@ def _build_cluster(scenario: Scenario, seed: int):
         seed=seed,
         n_servers=scenario.n_servers,
         resilience=scenario.n_servers - 1,
+        dedup_enabled=scenario.dedup,
     )
 
 
@@ -386,7 +460,9 @@ def _run(
         holder["cluster"] = cluster
     cluster.start()
     cluster.wait_operational()
-    cluster.enable_tracing(FLIGHT_RECORDER_CAPACITY)
+    cluster.enable_tracing(
+        scenario.flight_recorder_capacity or FLIGHT_RECORDER_CAPACITY
+    )
     sim = cluster.sim
     root = cluster.root_capability
     history = HistoryRecorder()
@@ -448,10 +524,69 @@ def _run(
             return True
         return False
 
-    processes = [
-        sim.spawn(client_loop(f"c{i}"), f"chaos-client-{i}")
-        for i in range(n_clients)
-    ]
+    def shared_client_loop(index, tag):
+        # Aggressive reply timeout: under the storm's >timeout request
+        # lag, many first attempts commit after the client has already
+        # given up and resent — exactly the duplicate window the
+        # session layer must close.
+        client = cluster.add_client(
+            tag,
+            rpc_timings=RpcTimings(
+                reply_timeout_ms=1_000.0, max_attempts=4, locate_attempts=10
+            ),
+            retry_safe=scenario.retry_safe,
+        )
+        crng = sim.rng.stream(f"chaos.client.{tag}")
+        counter = 0
+        while sim.now < deadline:
+            name = f"shared-{crng.randrange(4)}"
+            key = (1, name)
+            kind = crng.choice(["append", "delete", "lookup", "lookup"])
+            t0 = sim.now
+            counter += 1
+            try:
+                if kind == "append":
+                    # A unique capability per attempt: reads can then
+                    # attribute every observed value to one recorded
+                    # write (or to nothing — the violation).
+                    value = dataclasses.replace(
+                        root, check=(index + 1) * 1_000_000 + counter
+                    )
+                    yield from client.append_row(root, name, (value,))
+                    history.record(tag, "append", key, value, t0, sim.now)
+                elif kind == "delete":
+                    yield from client.delete_row(root, name)
+                    history.record(tag, "delete", key, None, t0, sim.now)
+                else:
+                    got = yield from client.lookup(root, name)
+                    history.record(tag, "lookup", key, got, t0, sim.now)
+            except DirectoryError as exc:
+                # Definitive server answer (AlreadyExists, NotFound):
+                # the write did not take effect. With dedup disabled a
+                # committed-then-retried update lands here too — the
+                # unexplained value is what the checker then flags.
+                # Recorded with a "!" suffix (ignored by the checkers)
+                # so violation dumps show what the client was told.
+                history.record(tag, kind + "!", key, repr(exc), t0, sim.now)
+            except ReproError:
+                if kind in ("append", "delete"):
+                    # Retry rounds exhausted: the effect is unknown and
+                    # may still land later. Optional write, open end.
+                    ambiguous = value if kind == "append" else None
+                    history.record(tag, kind + "?", key, ambiguous, t0, sim.now)
+                yield sim.sleep(500.0)
+        return tag
+
+    if scenario.shared_keys:
+        processes = [
+            sim.spawn(shared_client_loop(i, f"c{i}"), f"chaos-client-{i}")
+            for i in range(n_clients)
+        ]
+    else:
+        processes = [
+            sim.spawn(client_loop(f"c{i}"), f"chaos-client-{i}")
+            for i in range(n_clients)
+        ]
     cluster.run(until=deadline + SETTLE_MS)
     problems: list[str] = []
     if not all(p.resolved for p in processes):
@@ -467,11 +602,33 @@ def _run(
 
     operational = cluster.operational_servers()
     available = len(operational) >= _majority(cluster)
+
+    if scenario.shared_keys and available:
+        # Closing reads on every shared key: a committed update nobody
+        # recorded (a lost reply whose retry was answered wrongly)
+        # surfaces here as a value no write in the history explains.
+        def final_reads():
+            reader = cluster.add_client("final-reader")
+            for i in range(4):
+                name = f"shared-{i}"
+                t0 = sim.now
+                try:
+                    got = yield from reader.lookup(root, name)
+                except ReproError:
+                    continue
+                history.record("final", "lookup", (1, name), got, t0, sim.now)
+
+        cluster.run_process(final_reads(), "chaos-final-reads")
+
     final_names = None
     if operational:
         final_names = set(operational[0].state.directories[1].names())
     report = check_cluster(
-        cluster, history, final_names if available else None
+        cluster,
+        history,
+        final_names if available else None,
+        private_keys=not scenario.shared_keys,
+        trace_events=cluster.obs.tracer.events(),
     )
     problems.extend(report.problems())
 
@@ -520,6 +677,7 @@ def _run(
         fingerprints=fingerprints,
         simulated_ms=sim.now,
         trace_events=list(cluster.obs.tracer.events()),
+        history_events=list(history.events),
     )
 
 
@@ -537,6 +695,27 @@ def dump_flight_recorder(
     path = directory / f"{verdict.scenario}-seed{verdict.seed}.jsonl"
     path.write_text(to_jsonl(verdict.trace_events))
     verdict.trace_path = str(path)
+    if verdict.history_events:
+        hist_path = (
+            directory / f"{verdict.scenario}-seed{verdict.seed}-history.jsonl"
+        )
+        hist_path.write_text(
+            "\n".join(
+                json.dumps(
+                    {
+                        "client": e.client,
+                        "kind": e.kind,
+                        "key": list(e.key) if isinstance(e.key, tuple) else e.key,
+                        "value": repr(e.value),
+                        "start_ms": round(e.start_ms, 3),
+                        "end_ms": round(e.end_ms, 3),
+                    }
+                )
+                for e in verdict.history_events
+            )
+            + "\n"
+        )
+        verdict.history_path = str(hist_path)
     return verdict.trace_path
 
 

@@ -138,9 +138,20 @@ class BaseCluster:
         self.network.clear_policies()
 
     def add_client(
-        self, client_name: str, rpc_timings: RpcTimings | None = None
+        self,
+        client_name: str,
+        rpc_timings: RpcTimings | None = None,
+        retry_safe: bool = False,
+        client_id: str | None = None,
+        retry_rounds: int | None = None,
     ) -> DirectoryClient:
-        """Attach a new client machine and return its DirectoryClient."""
+        """Attach a new client machine and return its DirectoryClient.
+
+        ``retry_safe=True`` turns on the exactly-once session layer:
+        mutating operations are stamped with (client_id, seqno) and
+        blindly resent on RPC failure (see docs/PROTOCOL.md, "Session
+        semantics").
+        """
         address = f"{self.name}.client.{client_name}"
         transport = Transport(self.sim, self.network.attach(address))
         # Amoeba's trans() keeps retrying until it finds a server, so
@@ -153,6 +164,9 @@ class BaseCluster:
             or RpcTimings(
                 reply_timeout_ms=10_000.0, max_attempts=40, locate_attempts=20
             ),
+            retry_safe=retry_safe,
+            client_id=client_id,
+            **({"retry_rounds": retry_rounds} if retry_rounds is not None else {}),
         )
         self.clients[client_name] = client
         return client
@@ -266,7 +280,12 @@ class GroupServiceCluster(BaseCluster):
             site.server = self._make_server(site)
 
     def _make_server(self, site: Site) -> GroupDirectoryServer:
-        admin = AdminPartition(site.partition, site.index, self.config.n_servers)
+        admin = AdminPartition(
+            site.partition,
+            site.index,
+            self.config.n_servers,
+            session_blocks=self.config.session_blocks,
+        )
         return GroupDirectoryServer(
             self.config,
             site.index,
@@ -379,7 +398,12 @@ class NvramServiceCluster(GroupServiceCluster):
                 name=f"{self.name}.nvram{site.index}",
             )
             site.nvram = nvram  # the board survives server restarts
-        admin = AdminPartition(site.partition, site.index, self.config.n_servers)
+        admin = AdminPartition(
+            site.partition,
+            site.index,
+            self.config.n_servers,
+            session_blocks=self.config.session_blocks,
+        )
         return NvramDirectoryServer(
             self.config,
             site.index,
@@ -419,7 +443,9 @@ class RpcServiceCluster(BaseCluster):
         from repro.directory.rpc_server import RpcDirectoryServer
 
         for site in self.sites:
-            admin = AdminPartition(site.partition, site.index, 2)
+            admin = AdminPartition(
+            site.partition, site.index, 2, session_blocks=self.config.session_blocks
+        )
             site.server = RpcDirectoryServer(
                 self.config, site.index, site.dir_transport, site.bullet.port, admin
             )
@@ -458,7 +484,9 @@ class RpcServiceCluster(BaseCluster):
 
         site = self.sites[index]
         site.dir_transport.restart()
-        admin = AdminPartition(site.partition, site.index, 2)
+        admin = AdminPartition(
+            site.partition, site.index, 2, session_blocks=self.config.session_blocks
+        )
         site.server = RpcDirectoryServer(
             self.config, site.index, site.dir_transport, site.bullet.port, admin
         )

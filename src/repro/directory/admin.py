@@ -22,12 +22,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.amoeba.capability import Capability
+from repro.directory.session import (
+    SessionEntry,
+    decode_session_record,
+    encode_session_record,
+)
 from repro.errors import StorageError
 from repro.storage.disk import RawPartition
 
 COMMIT_BLOCK = 0
 SHADOW_BLOCK = 1
 FIRST_ENTRY_BLOCK = 2
+#: Blocks reserved at the top of the partition for session records
+#: (one per client); overridable per deployment via ServiceConfig.
+DEFAULT_SESSION_BLOCKS = 64
 
 
 @dataclass
@@ -72,17 +80,36 @@ class CommitBlock:
 class AdminPartition:
     """One server's commit block + object table on its raw partition."""
 
-    def __init__(self, partition: RawPartition, server_index: int, n_servers: int):
+    def __init__(
+        self,
+        partition: RawPartition,
+        server_index: int,
+        n_servers: int,
+        session_blocks: int = DEFAULT_SESSION_BLOCKS,
+    ):
         self.partition = partition
         self.server_index = server_index
         self.n_servers = n_servers
+        # The top *session_blocks* blocks hold per-client session
+        # records; the object table never allocates from that region.
+        # Tiny partitions (unit tests) cap the reservation at a
+        # quarter so the object table keeps the lion's share.
+        reserve = min(
+            session_blocks, max(0, (partition.length - FIRST_ENTRY_BLOCK) // 4)
+        )
+        self._session_area_start = partition.length - reserve
         # RAM mirrors (write-through); rebuilt by load() at boot.
         self.commit = CommitBlock(tuple(True for _ in range(n_servers)), 0, False)
         self.entries: dict[int, tuple[Capability, int]] = {}
         self.entry_checks: dict[int, int] = {}
         self._block_of: dict[int, int] = {}
         self._free_blocks: list[int] = list(
-            range(FIRST_ENTRY_BLOCK, partition.length)
+            range(FIRST_ENTRY_BLOCK, self._session_area_start)
+        )
+        self.session_entries: dict[str, SessionEntry] = {}
+        self._session_block_map: dict[str, int] = {}
+        self._free_session_blocks: list[int] = list(
+            range(self._session_area_start, partition.length)
         )
 
     # -- boot ---------------------------------------------------------------
@@ -99,7 +126,7 @@ class AdminPartition:
         self.entry_checks = {}
         self._block_of = {}
         self._free_blocks = []
-        for index in range(FIRST_ENTRY_BLOCK, self.partition.length):
+        for index in range(FIRST_ENTRY_BLOCK, self._session_area_start):
             raw = self.partition.peek_block(index)  # sequential scan,
             # charged as one sweep below rather than per block
             if raw[:4] == b"DENT":
@@ -112,6 +139,27 @@ class AdminPartition:
                 self._block_of[obj] = index
             else:
                 self._free_blocks.append(index)
+        self.session_entries = {}
+        self._session_block_map = {}
+        self._free_session_blocks = []
+        for index in range(self._session_area_start, self.partition.length):
+            decoded = decode_session_record(self.partition.peek_block(index))
+            if decoded is None:
+                self._free_session_blocks.append(index)
+                continue
+            client_id, entry = decoded
+            known = self.session_entries.get(client_id)
+            if known is not None and known.last_seqno >= entry.last_seqno:
+                # A stale leftover for the same client (should not
+                # happen — records overwrite in place — but be safe).
+                self._free_session_blocks.append(index)
+                continue
+            if known is not None:
+                self._free_session_blocks.append(
+                    self._session_block_map[client_id]
+                )
+            self.session_entries[client_id] = entry
+            self._session_block_map[client_id] = index
         # One sequential sweep over the table.
         yield from self.partition.disk._occupy(
             "sequential", (self.partition.length - 1) * 1024
@@ -162,12 +210,44 @@ class AdminPartition:
         self.entries[obj] = (cap, seqno)
         self.entry_checks[obj] = check
 
+    # -- session records ---------------------------------------------------
+
+    def _session_block_for(self, client_id: str) -> int:
+        """The block holding *client_id*'s record, allocating (or
+        reclaiming the least-recently-active client's block) on
+        first touch."""
+        block = self._session_block_map.get(client_id)
+        if block is not None:
+            return block
+        if self._free_session_blocks:
+            block = self._free_session_blocks.pop(0)
+        else:
+            victim = min(
+                self._session_block_map,
+                key=lambda cid: (self.session_entries[cid].last_active, cid),
+            )
+            block = self._session_block_map.pop(victim)
+            del self.session_entries[victim]
+        self._session_block_map[client_id] = block
+        return block
+
+    def store_session(self, client_id: str, entry: SessionEntry):
+        """Persist one client's session record — a single synchronous
+        block write (single-block writes are atomic, so no shadow
+        page is needed: the record is replaced whole or not at all)."""
+        block = self._session_block_for(client_id)
+        yield from self.partition.write_block(
+            block, encode_session_record(client_id, entry)
+        )
+        self.session_entries[client_id] = entry
+
     def commit_batch(
         self,
         stores,
         removals=(),
         commit_seqno: int | None = None,
         commit_next_object: int | None = None,
+        session_stores=(),
     ):
         """Group-commit several object-table updates in ONE disk flush.
 
@@ -222,10 +302,22 @@ class AdminPartition:
                     self.commit.next_object, commit_next_object
                 )
             writes.append((COMMIT_BLOCK, self.commit.to_bytes()))
+        # Session records (one block per client, overwritten in place)
+        # join the same single flush; *session_stores* is a list of
+        # ``(client_id, SessionEntry)`` pairs.
+        for client_id, entry in session_stores:
+            writes.append(
+                (
+                    self._session_block_for(client_id),
+                    encode_session_record(client_id, entry),
+                )
+            )
         yield from self.partition.write_blocks(writes)
         for obj, cap, seqno, check in stores:
             self.entries[obj] = (cap, seqno)
             self.entry_checks[obj] = check
+        for client_id, entry in session_stores:
+            self.session_entries[client_id] = entry
 
     def remove_entry(self, obj: int, commit_seqno: int, next_object: int = 0):
         """Drop a directory's entry and record the deletion in the

@@ -25,34 +25,104 @@ from repro.directory.operations import (
     ListDir,
     LookupSet,
     ReplaceSet,
+    SessionOp,
 )
+from repro.errors import LocateError, NoMajority, RpcError, ServiceDown
 from repro.rpc.client import RpcClient, RpcTimings
 from repro.rpc.transport import Transport
 
+#: Rounds of end-to-end resends a retry-safe client performs on top of
+#: the RPC layer's own fail-over attempts.
+RETRY_SAFE_ROUNDS = 3
+
 
 class DirectoryClient:
-    """One client machine's handle on a directory service."""
+    """One client machine's handle on a directory service.
+
+    With ``retry_safe=True`` every mutating operation is stamped with
+    ``(client_id, session_seqno)`` and wrapped in a
+    :class:`~repro.directory.operations.SessionOp`; the servers'
+    session tables then make blind resends safe (exactly-once
+    semantics), so the client retries RPC-level failures — including
+    reply timeouts, where the first attempt may have committed —
+    instead of surfacing them.
+    """
 
     def __init__(
         self,
         transport: Transport,
         port: Port,
         timings: RpcTimings | None = None,
+        retry_safe: bool = False,
+        client_id: str | None = None,
+        retry_rounds: int = RETRY_SAFE_ROUNDS,
     ):
         self.transport = transport
         self.port = port
         self.rpc = RpcClient(transport, timings or RpcTimings())
         self.operations_sent = 0
+        self.retry_safe = retry_safe
+        self.retry_rounds = retry_rounds
+        self.client_id = client_id if client_id is not None else str(transport.address)
+        self._session_seqno = 0
+        self.resends = 0  # end-to-end retry rounds actually used
 
     # -- raw request ------------------------------------------------------
 
     def request(self, op: DirectoryOp, reply_timeout_ms: float | None = None):
         """Send one operation and return the server's result."""
         self.operations_sent += 1
+        if self.retry_safe and not op.is_read:
+            result = yield from self._request_retry_safe(op, reply_timeout_ms)
+            return result
         result = yield from self.rpc.trans(
             self.port, op, size=op.wire_size(), reply_timeout_ms=reply_timeout_ms
         )
         return result
+
+    def _request_retry_safe(
+        self, op: DirectoryOp, reply_timeout_ms: float | None
+    ):
+        """Wrap *op* in a session envelope and resend until it lands.
+
+        The same ``(client_id, session_seqno)`` stamp is reused across
+        resends, so a server that already applied the operation
+        answers from its reply cache instead of applying it twice.
+        Definitive directory errors (AlreadyExists, NotFound, ...)
+        propagate immediately; ServiceDown and NoMajority do *not*
+        count as definitive — "group failure during update" is replied
+        for updates that may already be r-safe, so they are retried
+        like any lost reply.
+        """
+        self._session_seqno += 1
+        wrapped = SessionOp(op, self.client_id, self._session_seqno)
+        last_error: Exception | None = None
+        for round_no in range(self.retry_rounds):
+            if round_no:
+                self.resends += 1
+                yield self.sim_sleep_backoff(round_no)
+            try:
+                result = yield from self.rpc.trans(
+                    self.port,
+                    wrapped,
+                    size=wrapped.wire_size(),
+                    reply_timeout_ms=reply_timeout_ms,
+                )
+                return result
+            except (RpcError, LocateError, ServiceDown, NoMajority) as failure:
+                last_error = failure
+        raise RpcError(
+            f"retry-safe request {op!r} failed after "
+            f"{self.retry_rounds} rounds: {last_error!r}"
+        )
+
+    def sim_sleep_backoff(self, round_no: int):
+        """Deterministic jittered pause between end-to-end resends."""
+        sim = self.transport.sim
+        delay = min(2000.0, 100.0 * 2.0**round_no) * sim.rng.uniform(
+            f"dir.client.retry.{self.client_id}", 0.5, 1.5
+        )
+        return sim.sleep(delay)
 
     # -- Fig. 2 operations ---------------------------------------------------
 

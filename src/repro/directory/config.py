@@ -58,6 +58,17 @@ class ServiceConfig:
     #: Use the paper's §3.2 improved recovery rule (a server that never
     #: crashed may pair with a restarted stale server).
     improved_recovery_rule: bool = True
+    #: Exactly-once session table bound: at most this many clients'
+    #: (last seqno, cached reply) entries are kept, LRU-evicted. Must
+    #: not exceed ``session_blocks`` or persisted entries could lag
+    #: the replicated table.
+    session_cache_size: int = 32
+    #: Admin-partition blocks reserved (at the top of the partition)
+    #: for persisted session records.
+    session_blocks: int = 64
+    #: When False, duplicate session operations re-execute — only the
+    #: chaos suite's non-vacuity runs ever turn this off.
+    dedup_enabled: bool = True
 
     @property
     def port(self) -> Port:

@@ -15,7 +15,7 @@ import dataclasses
 
 from repro.amoeba.capability import Port, new_check
 from repro.directory.config import ServiceConfig
-from repro.directory.operations import CreateDir, DirectoryOp
+from repro.directory.operations import CreateDir, DirectoryOp, SessionOp
 from repro.directory.state import DirectoryState
 from repro.errors import CapabilityError, DirectoryError, Interrupted, NoSuchFile, ServiceDown
 from repro.rpc.server import RpcServer
@@ -31,6 +31,8 @@ class NfsDirectoryServer:
         self.transport = transport
         self.sim = transport.sim
         self.state = DirectoryState(config.port, config.root_check)
+        self.state.session_cache_size = config.session_cache_size
+        self.state.dedup_enabled = config.dedup_enabled
         self.rpc_server = RpcServer(transport, config.port, "nfsdir")
         # NFS updates are synchronous on the server's single disk.
         self._disk = Mutex("nfsdir.disk")
@@ -88,13 +90,22 @@ class NfsDirectoryServer:
                         self._disk.release()
                     self.writes_served += 1
                     self._c_writes.inc()
-                    handle.reply(result, size=96)
+                    if isinstance(result, Exception):
+                        # Failed session op: the cached-reply error.
+                        handle.error(result)
+                    else:
+                        handle.reply(result, size=96)
             except Interrupted:
                 raise
             except Exception as exc:
                 handle.error(ServiceDown(f"internal error: {exc!r}"))
 
     def _prepare(self, op: DirectoryOp) -> DirectoryOp:
+        if isinstance(op, SessionOp):
+            inner = self._prepare(op.op)
+            if inner is not op.op:
+                return dataclasses.replace(op, op=inner)
+            return op
         if isinstance(op, CreateDir) and op.check is None:
             rng = self.sim.rng.stream(f"nfsdir.{self.config.name}.check")
             return dataclasses.replace(op, check=new_check(rng))

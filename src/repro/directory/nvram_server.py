@@ -52,6 +52,7 @@ class NvramDirectoryServer(GroupDirectoryServer):
         self.nvram = nvram
         self._dirty: set[int] = set()  # objects with unflushed changes
         self._deleted_dirty: set[int] = set()  # deleted, not yet on disk
+        self._dirty_sessions: set[str] = set()  # unflushed session entries
         self._last_update_at = 0.0
         self._flush_requested = False
 
@@ -66,6 +67,8 @@ class NvramDirectoryServer(GroupDirectoryServer):
     # ------------------------------------------------------------------
 
     def _persist_effects(self, op, effects):
+        if not (effects.touched or effects.deleted or effects.sessions):
+            return  # dedup hit: replayed reply, nothing to log
         self._last_update_at = self.sim.now
         if self._try_annihilate(op):
             yield from self.transport.cpu.use(ANNIHILATION_CPU_MS)
@@ -91,6 +94,7 @@ class NvramDirectoryServer(GroupDirectoryServer):
         for obj in effects.deleted:
             self._dirty.discard(obj)
             self._deleted_dirty.add(obj)
+        self._dirty_sessions.update(effects.sessions)
 
     def _persist_batch(self, items):
         """Batched commit path: the whole batch's log appends go to
@@ -104,6 +108,9 @@ class NvramDirectoryServer(GroupDirectoryServer):
         owed_cpu_ms = 0.0
         for item in items:
             op = item.op
+            effects = item.effects
+            if not (effects.touched or effects.deleted or effects.sessions):
+                continue  # dedup hit: replayed reply, nothing to log
             if self._try_annihilate(op):
                 owed_cpu_ms += ANNIHILATION_CPU_MS
                 continue
@@ -130,6 +137,7 @@ class NvramDirectoryServer(GroupDirectoryServer):
             for obj in item.effects.deleted:
                 self._dirty.discard(obj)
                 self._deleted_dirty.add(obj)
+            self._dirty_sessions.update(item.effects.sessions)
         if owed_cpu_ms:
             yield from self.transport.cpu.use(owed_cpu_ms)
 
@@ -227,6 +235,16 @@ class NvramDirectoryServer(GroupDirectoryServer):
                     obj, self.state.update_seqno, self.state.next_object
                 )
                 self._remove_bullet_file_later(old_cap)
+        # Session records flush after the data (same rationale as the
+        # disk variant: a crash in between costs a re-execution that
+        # fails deterministically, never a silent lost update) and
+        # before the board cleanup, so an acknowledged session entry
+        # is always recoverable from disk or log.
+        dirty_sessions, self._dirty_sessions = self._dirty_sessions, set()
+        for client_id in sorted(dirty_sessions):
+            entry = self.state.sessions.get(client_id)
+            if entry is not None:
+                yield from self.admin.store_session(client_id, entry)
         # Everything up to flush_floor is now on disk: those records
         # may leave the board. (Later records stay for the next flush.)
         self.nvram.remove_flushed(lambda r: r.payload[1] <= flush_floor)
@@ -270,6 +288,7 @@ class NvramDirectoryServer(GroupDirectoryServer):
                 for obj in effects.deleted:
                     self._dirty.discard(obj)
                     self._deleted_dirty.add(obj)
+                self._dirty_sessions.update(effects.sessions)
             except (DirectoryError, CapabilityError):
                 pass  # cancelled by a later record in the same log
             self.state.update_seqno = max(self.state.update_seqno, seqno)
@@ -280,7 +299,12 @@ class NvramDirectoryServer(GroupDirectoryServer):
         yield from super()._recover()
         # Whatever path recovery took, the board and the disk must
         # agree with the adopted state: flush everything once.
-        if len(self.nvram) > 0 or self._dirty or self._deleted_dirty:
+        if (
+            len(self.nvram) > 0
+            or self._dirty
+            or self._deleted_dirty
+            or self._dirty_sessions
+        ):
             self._dirty.update(
                 obj
                 for obj in self.state.directories

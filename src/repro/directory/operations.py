@@ -164,6 +164,35 @@ class ReplaceSet(DirectoryOp):
         )
 
 
+@dataclass(frozen=True)
+class SessionOp(DirectoryOp):
+    """A mutating operation stamped with the client's session identity.
+
+    Clients in ``retry_safe`` mode wrap every write in one of these;
+    the replicated state machine keeps a per-client table of the last
+    executed *session_seqno* and its reply, so a retried duplicate is
+    answered from the cache instead of re-executed (exactly-once
+    semantics across server failover).
+    """
+
+    op: DirectoryOp
+    client_id: str
+    session_seqno: int
+
+    @property
+    def is_read(self) -> bool:
+        return self.op.is_read
+
+    def wire_size(self) -> int:
+        # client id + 64-bit seqno + framing.
+        return self.op.wire_size() + 24
+
+
+def unwrap(op: DirectoryOp) -> DirectoryOp:
+    """The operation inside a session envelope (or *op* itself)."""
+    return op.op if isinstance(op, SessionOp) else op
+
+
 #: Operation name -> class, for logs and workload configuration.
 OPERATIONS = {
     "create_dir": CreateDir,

@@ -252,6 +252,12 @@ def _install_snapshot(server, reply):
                 obj, new_state.update_seqno, new_state.next_object
             )
             server._remove_bullet_file_later(old_cap)
-    server.state = new_state
-    server._state_loaded = True
+    # The session table rides the snapshot; persist the donor's
+    # entries so exactly-once survives a crash right after recovery.
+    for client_id, entry in new_state.sessions.items():
+        mine = server.admin.session_entries.get(client_id)
+        if mine is not None and mine.last_seqno == entry.last_seqno:
+            continue
+        yield from server.admin.store_session(client_id, entry)
+    server._adopt_state(new_state)
     return transferred

@@ -38,7 +38,7 @@ from collections import deque
 from repro.amoeba.capability import new_check
 from repro.directory.admin import AdminPartition
 from repro.directory.config import ServiceConfig
-from repro.directory.operations import CreateDir, DirectoryOp
+from repro.directory.operations import CreateDir, DirectoryOp, SessionOp
 from repro.directory.state import DirectoryState
 from repro.errors import (
     CapabilityError,
@@ -78,6 +78,7 @@ class RpcDirectoryServer:
         self.admin = admin
 
         self.state = DirectoryState(config.port, config.root_check)
+        self._configure_state(self.state)
         # Disjoint object-number classes: server 0 allocates even,
         # server 1 odd (root is object 1, so start above it).
         self._next_alloc = 2 + index
@@ -145,6 +146,10 @@ class RpcDirectoryServer:
         )
         self.operational = True
 
+    def _configure_state(self, state: DirectoryState) -> None:
+        state.session_cache_size = self.config.session_cache_size
+        state.dedup_enabled = self.config.dedup_enabled
+
     def _install_state(self, new_state: DirectoryState, entry_seqnos: dict):
         for obj in sorted(new_state.directories):
             donor_seq = entry_seqnos.get(obj)
@@ -163,6 +168,12 @@ class RpcDirectoryServer:
                 yield from self.admin.remove_entry(
                     obj, new_state.update_seqno, new_state.next_object
                 )
+        for client_id, entry in new_state.sessions.items():
+            mine = self.admin.session_entries.get(client_id)
+            if mine is None or mine.last_seqno != entry.last_seqno:
+                yield from self.admin.store_session(client_id, entry)
+        self._configure_state(new_state)
+        new_state.trim_sessions()
         self.state = new_state
 
     def _rebuild_from_disk(self):
@@ -177,6 +188,9 @@ class RpcDirectoryServer:
             next_object = max(next_object, obj + 1)
         state.next_object = max(next_object, self.admin.commit.next_object)
         state.update_seqno = self.admin.highest_seqno()
+        state.sessions = dict(self.admin.session_entries)
+        self._configure_state(state)
+        state.trim_sessions()
         self.state = state
 
     def crash(self) -> None:
@@ -257,11 +271,21 @@ class RpcDirectoryServer:
             self._c_writes.inc()
             if tracer.enabled:
                 tracer.emit(str(self.me), "dir", "dir.write.reply")
-            handle.reply(result, size=96)
+            if isinstance(result, Exception):
+                # A session op whose execution failed: the error is the
+                # cached (and replayed) reply.
+                handle.error(result)
+            else:
+                handle.reply(result, size=96)
         finally:
             self._update_mutex.release()
 
     def _prepare_write(self, op: DirectoryOp) -> DirectoryOp:
+        if isinstance(op, SessionOp):
+            inner = self._prepare_write(op.op)
+            if inner is not op.op:
+                return dataclasses.replace(op, op=inner)
+            return op
         if isinstance(op, CreateDir) and op.check is None:
             rng = self.sim.rng.stream(f"rpcdir.{self.config.name}.check.{self.index}")
             obj = self._next_alloc
@@ -429,6 +453,10 @@ class RpcDirectoryServer:
             )
             if old_entry is not None:
                 self._cleanup_later(old_entry[0])
+        for client_id in effects.sessions:
+            entry = self.state.sessions.get(client_id)
+            if entry is not None:
+                yield from self.admin.store_session(client_id, entry)
 
     def _cleanup_later(self, cap) -> None:
         def cleanup():

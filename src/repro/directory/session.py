@@ -1,0 +1,130 @@
+"""Per-client session state for exactly-once directory updates.
+
+The Amoeba RPC layer gives at-most-once delivery to *one* server, but
+a fault-tolerant service has many: a client whose reply was lost fails
+over and retries, and without extra machinery the retried update is
+applied twice. The standard cure (LLFT-style) is replicated per-client
+session state: every mutating operation carries a ``(client_id,
+session_seqno)`` stamp, and each replica keeps a bounded table mapping
+client id to the last sequence number it executed plus the cached
+reply. A duplicate is answered from the cache instead of re-executed.
+
+The session table is part of the replicated state machine
+(:class:`~repro.directory.state.DirectoryState`), so it rides the
+total order, the recovery snapshot, and — via the byte encodings in
+this module — the on-disk object table and the NVRAM log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import errors
+from repro.amoeba.capability import Capability
+from repro.errors import CapabilityError, DirectoryError
+
+
+@dataclass
+class SessionEntry:
+    """What a replica remembers about one client's session."""
+
+    #: Highest session sequence number executed for this client.
+    last_seqno: int
+    #: The reply that acknowledged ``last_seqno`` (replayed verbatim
+    #: when the client retries it).
+    reply: object
+    #: Logical recency (the state's ``update_seqno`` at record time);
+    #: the LRU eviction key of the bounded session table.
+    last_active: int
+
+
+# ----------------------------------------------------------------------
+# reply encoding
+# ----------------------------------------------------------------------
+#
+# Cached replies must be byte-encodable: they are persisted in the
+# object table, compared in replica fingerprints (exception *instances*
+# never compare equal, their encodings do), and shipped in recovery
+# snapshots. Directory write results are a closed set: True/False,
+# None, a Capability (CreateDir), or a deterministic apply error
+# (AlreadyExists, NotFound, ...). Errors MUST be cached: an executed-
+# but-failed operation is still executed, and a delayed duplicate that
+# re-ran it later — when the very same operation might succeed — would
+# commit an update the client was already told had failed.
+
+
+def encode_reply(reply) -> bytes:
+    if reply is None:
+        return b"N"
+    if reply is True:
+        return b"T"
+    if reply is False:
+        return b"F"
+    if isinstance(reply, Capability):
+        return b"C" + reply.to_bytes()
+    if isinstance(reply, (DirectoryError, CapabilityError)):
+        return b"E" + type(reply).__name__.encode("ascii") + b"\x00" + str(
+            reply
+        ).encode("utf-8")
+    raise DirectoryError(f"uncacheable reply type {type(reply).__name__}")
+
+
+def decode_reply(raw: bytes):
+    tag, body = raw[:1], raw[1:]
+    if tag == b"N":
+        return None
+    if tag == b"T":
+        return True
+    if tag == b"F":
+        return False
+    if tag == b"C":
+        return Capability.from_bytes(body)
+    if tag == b"E":
+        name, _, message = body.partition(b"\x00")
+        cls = getattr(errors, name.decode("ascii"), None)
+        if not isinstance(cls, type) or not issubclass(
+            cls, (DirectoryError, CapabilityError)
+        ):
+            cls = DirectoryError
+        return cls(message.decode("utf-8"))
+    raise DirectoryError(f"corrupt cached reply {raw!r}")
+
+
+# ----------------------------------------------------------------------
+# disk encoding (one session record per admin-partition block)
+# ----------------------------------------------------------------------
+
+SESSION_MAGIC = b"SESS"
+
+
+def encode_session_record(client_id: str, entry: SessionEntry) -> bytes:
+    """One client's session entry as a <=1024-byte disk block image."""
+    cid = client_id.encode("utf-8")
+    reply = encode_reply(entry.reply)
+    raw = (
+        SESSION_MAGIC
+        + len(cid).to_bytes(2, "big")
+        + cid
+        + entry.last_seqno.to_bytes(8, "big")
+        + entry.last_active.to_bytes(8, "big")
+        + len(reply).to_bytes(2, "big")
+        + reply
+    )
+    if len(raw) > 1024:
+        raise DirectoryError(f"session record for {client_id!r} exceeds a block")
+    return raw
+
+
+def decode_session_record(raw: bytes):
+    """Inverse of :func:`encode_session_record`; None when not a
+    session block (free or holding something else)."""
+    if raw[:4] != SESSION_MAGIC:
+        return None
+    cid_len = int.from_bytes(raw[4:6], "big")
+    offset = 6 + cid_len
+    client_id = raw[6:offset].decode("utf-8")
+    last_seqno = int.from_bytes(raw[offset : offset + 8], "big")
+    last_active = int.from_bytes(raw[offset + 8 : offset + 16], "big")
+    reply_len = int.from_bytes(raw[offset + 16 : offset + 18], "big")
+    reply = decode_reply(raw[offset + 18 : offset + 18 + reply_len])
+    return client_id, SessionEntry(last_seqno, reply, last_active)

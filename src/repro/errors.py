@@ -41,6 +41,13 @@ class LocateError(RpcError):
     """No server answering to the requested port could be located."""
 
 
+class HostUnreachable(RpcError):
+    """The destination machine refused the connection (its NIC is
+    down: crashed or shut off). Unlike a timeout, this is an active
+    signal — clients evict the server from the port cache at once
+    instead of burning a full reply timeout."""
+
+
 class GroupError(ReproError):
     """Base class for group-communication failures."""
 

@@ -280,6 +280,7 @@ class Network:
                     dst=str(packet.dst), kind=packet.kind,
                     reason="unreachable",
                 )
+            self._maybe_refuse(packet)
             return
         if tracer.enabled:
             tracer.emit(
@@ -287,6 +288,49 @@ class Network:
                 src=str(packet.src), kind=packet.kind,
             )
         self._nics[packet.dst].inbox.send(packet)
+
+    def _maybe_refuse(self, packet: Packet) -> None:
+        """Connection refused: an RPC request whose destination NIC is
+        down (machine crashed or shut off) earns an immediate
+        ``rpc.unreach`` control frame back to the sender, modelling a
+        link-layer refusal. Only NIC-down counts — a *partitioned*
+        destination stays a silent timeout (the sender cannot tell a
+        cut cable from a dead host), and multicast is never refused.
+        """
+        if packet.kind != "rpc.request" or packet.multicast:
+            return
+        dst_nic = self._nics.get(packet.dst)
+        if dst_nic is not None and dst_nic.up:
+            return  # dropped for another reason (e.g. partition)
+        src_nic = self._nics.get(packet.src)
+        if src_nic is None or not src_nic.up:
+            return
+        if not self.partitions.connected(packet.src, packet.dst):
+            return
+        payload = packet.payload
+        if not isinstance(payload, dict) or "txid" not in payload:
+            return
+        refusal = Packet(
+            packet.dst, packet.src, "rpc.unreach", {"txid": payload["txid"]}, 64
+        )
+        delay = self.latency.network.transmit_time(64)
+
+        def deliver_refusal() -> None:
+            # The refusal's nominal src is the dead machine, so the
+            # reachable() check would drop it; deliver directly,
+            # requiring only a live receiver and no new partition.
+            nic = self._nics.get(refusal.dst)
+            if (
+                nic is not None
+                and nic.up
+                and self.partitions.connected(refusal.src, refusal.dst)
+            ):
+                nic.inbox.send(refusal)
+
+        self.stats.record("rpc.unreach", 64)
+        self._c_frames.inc()
+        self._c_bytes.inc(64)
+        self.sim.schedule(delay, deliver_refusal)
 
     def _lost(self) -> bool:
         if self.loss_probability <= 0.0:

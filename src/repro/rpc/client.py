@@ -13,7 +13,12 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.amoeba.capability import Port
-from repro.errors import LocateError, RpcError, TimeoutError as SimTimeout
+from repro.errors import (
+    HostUnreachable,
+    LocateError,
+    RpcError,
+    TimeoutError as SimTimeout,
+)
 from repro.rpc.kernel import NotHereBounce, rpc_kernel
 from repro.rpc.transport import Transport
 
@@ -30,8 +35,18 @@ class RpcTimings:
     reply_timeout_ms: float = 4000.0
     #: Distinct servers tried (via NOTHERE/timeout fail-over) per trans.
     max_attempts: int = 8
-    #: Backoff before retrying when every known server bounced us.
+    #: Base backoff before retrying when a server bounced or refused
+    #: us; doubles per retry (capped), with deterministic jitter.
     retry_backoff_ms: float = 2.0
+    #: Ceiling of the exponential backoff.
+    retry_backoff_cap_ms: float = 256.0
+    #: Growth factor per retry.
+    retry_backoff_factor: float = 2.0
+    #: Relative jitter: each backoff is scaled by a factor drawn
+    #: uniformly from [1 - jitter, 1 + jitter] out of the *seeded*
+    #: simulation RNG (stream "rpc.backoff.<machine>"), so retry
+    #: storms decorrelate without breaking determinism.
+    retry_jitter: float = 0.5
 
 
 class RpcClient:
@@ -65,7 +80,7 @@ class RpcClient:
         if overhead:
             yield self.sim.sleep(overhead)
         last_error: Exception | None = None
-        for _ in range(self.timings.max_attempts):
+        for attempt in range(self.timings.max_attempts):
             server = yield from self._pick_server(port)
             txid = self._kernel.new_txid()
             fut = self._kernel.send_request(server, port, txid, body, size)
@@ -75,7 +90,15 @@ class RpcClient:
                 self.bounces += 1
                 self._kernel.drop_cached_server(port, bounce.server)
                 last_error = bounce
-                yield self.sim.sleep(self.timings.retry_backoff_ms)
+                yield self.sim.sleep(self._backoff_ms(attempt))
+                continue
+            except HostUnreachable as refused:
+                # Connection refused (dead NIC): evict immediately so
+                # the next attempt goes to a live replica instead of
+                # burning a full reply timeout on the corpse.
+                self._kernel.drop_cached_server(port, server)
+                last_error = refused
+                yield self.sim.sleep(self._backoff_ms(attempt))
                 continue
             except SimTimeout as timed_out:
                 self._kernel.forget_transaction(txid)
@@ -89,6 +112,21 @@ class RpcClient:
             f"trans to port {port} failed after "
             f"{self.timings.max_attempts} attempts: {last_error!r}"
         )
+
+    def _backoff_ms(self, attempt: int) -> float:
+        """Capped exponential backoff with deterministic jitter."""
+        t = self.timings
+        delay = min(
+            t.retry_backoff_cap_ms,
+            t.retry_backoff_ms * t.retry_backoff_factor**attempt,
+        )
+        if t.retry_jitter > 0.0:
+            delay *= self.sim.rng.uniform(
+                f"rpc.backoff.{self.transport.address}",
+                1.0 - t.retry_jitter,
+                1.0 + t.retry_jitter,
+            )
+        return delay
 
     def forget_port(self, port: Port) -> None:
         """Drop all cached servers for *port* (forces a fresh locate)."""

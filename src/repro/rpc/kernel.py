@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.amoeba.capability import Port
+from repro.errors import HostUnreachable
 from repro.net.network import Packet
 from repro.rpc.transport import Transport
 from repro.sim.future import Future
@@ -29,6 +30,9 @@ KIND_REQUEST = "rpc.request"
 KIND_REPLY = "rpc.reply"
 KIND_NOTHERE = "rpc.nothere"
 KIND_ACK = "rpc.ack"
+#: Synthesized by the network when a request's destination NIC is
+#: down (the simulation's connection-refused signal).
+KIND_UNREACH = "rpc.unreach"
 
 #: Wire sizes (bytes) for the small fixed-format control packets.
 CONTROL_PACKET_SIZE = 64
@@ -71,6 +75,7 @@ class RpcKernel:
             (KIND_REPLY, self._on_reply),
             (KIND_NOTHERE, self._on_nothere),
             (KIND_ACK, self._on_ack),
+            (KIND_UNREACH, self._on_unreach),
         ]:
             transport.register(kind, handler)
 
@@ -194,6 +199,14 @@ class RpcKernel:
 
     def _on_ack(self, packet: Packet) -> None:
         pass  # transaction state is implicit in the simulation
+
+    def _on_unreach(self, packet: Packet) -> None:
+        """Connection refused: the request's destination NIC is down."""
+        fut = self._pending.pop(packet.payload["txid"], None)
+        if fut is not None:
+            fut.fail_if_pending(
+                HostUnreachable(f"server {packet.src!r} unreachable")
+            )
 
     def send_reply(self, client, txid, body, error, size: int) -> None:
         """Server half: transmit a reply packet."""

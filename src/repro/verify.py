@@ -96,6 +96,161 @@ def check_private_key_history(history: HistoryRecorder) -> list[Violation]:
     return violations
 
 
+#: Linearizability-search budget: DFS states explored per key before
+#: the checker declares the key undecided (treated as a pass — the
+#: checker is a bug detector, not a prover).
+LINEARIZABILITY_STATE_BUDGET = 200_000
+
+#: History kinds whose effect is unknown (the client's retry rounds
+#: were exhausted by an RPC failure, so the write may or may not have
+#: been applied). The checker treats them as *optional* writes.
+AMBIGUOUS_KINDS = {"append?", "delete?"}
+
+
+@dataclass
+class _RegisterOp:
+    """One operation in the per-key register model."""
+
+    is_write: bool
+    value: Any  # written value, or the value a read observed
+    start: float
+    end: float
+    optional: bool  # ambiguous write: may never have taken effect
+
+
+def check_shared_key_linearizability(history: HistoryRecorder) -> list[str]:
+    """Per-key linearizability of a shared-key history (Wing & Gong).
+
+    Each key is modelled as a register: ``append`` writes the recorded
+    capability, ``delete`` writes None, ``lookup`` reads. Keys are
+    independent registers, so each is checked separately with a DFS
+    over linearization orders (memoized on the set of linearized ops
+    plus the register value). Ambiguous writes — kind ``"append?"`` or
+    ``"delete?"``, recorded when a retry-safe client ran out of retry
+    rounds — are optional: the search may linearize them or not, and
+    their invocation never constrains other operations' order (their
+    response time is unknown, i.e. infinite).
+
+    Returns one message per non-linearizable key. A key whose search
+    exhausts the state budget counts as undecided, not as a violation.
+    """
+    per_key: dict[Any, list[_RegisterOp]] = {}
+    for event in history.events:
+        kind = event.kind
+        optional = kind in AMBIGUOUS_KINDS
+        base = kind.rstrip("?")
+        if base == "append":
+            op = _RegisterOp(True, event.value, event.start_ms,
+                             float("inf") if optional else event.end_ms, optional)
+        elif base == "delete":
+            op = _RegisterOp(True, None, event.start_ms,
+                             float("inf") if optional else event.end_ms, optional)
+        elif base == "lookup":
+            op = _RegisterOp(False, event.value, event.start_ms,
+                             event.end_ms, False)
+        else:
+            continue
+        per_key.setdefault(event.key, []).append(op)
+
+    problems: list[str] = []
+    for key, ops in sorted(per_key.items(), key=lambda item: repr(item[0])):
+        ok, exhausted = _key_linearizable(ops)
+        if not ok and not exhausted:
+            problems.append(
+                f"key {key!r}: history of {len(ops)} operations is not "
+                f"linearizable as a register"
+            )
+    return problems
+
+
+def _key_linearizable(ops: list[_RegisterOp]) -> tuple[bool, bool]:
+    """(linearizable, budget_exhausted) for one key's operations."""
+    ops = sorted(ops, key=lambda op: (op.start, op.end))
+    mandatory = frozenset(
+        i for i, op in enumerate(ops) if not op.optional
+    )
+    n = len(ops)
+    seen: set[tuple[frozenset, Any]] = set()
+    budget = LINEARIZABILITY_STATE_BUDGET
+
+    def dfs(done: frozenset, value) -> bool:
+        nonlocal budget
+        if mandatory <= done:
+            return True
+        state = (done, value)
+        if state in seen:
+            return False
+        seen.add(state)
+        budget -= 1
+        if budget <= 0:
+            raise _BudgetExhausted
+        # Minimal ops: nothing still pending finished strictly before
+        # this one started (real-time order must be respected).
+        frontier = min(
+            (ops[j].end for j in range(n) if j not in done and not ops[j].optional),
+            default=float("inf"),
+        )
+        for i in range(n):
+            if i in done:
+                continue
+            op = ops[i]
+            if op.start > frontier:
+                continue
+            if op.is_write:
+                if dfs(done | {i}, op.value):
+                    return True
+            elif _values_equal(op.value, value):
+                if dfs(done | {i}, value):
+                    return True
+        return False
+
+    try:
+        return dfs(frozenset(), None), False
+    except _BudgetExhausted:
+        return True, True
+
+
+class _BudgetExhausted(Exception):
+    pass
+
+
+def _values_equal(a, b) -> bool:
+    return a == b
+
+
+def check_exactly_once_applies(trace_events) -> list[str]:
+    """No (client, session seqno) pair may be *executed* twice.
+
+    Scans ``dir.apply.end`` trace events: for each node, every
+    session-stamped apply that both succeeded (``failed=False``) and
+    was not a dedup-cache hit (``dedup=False``) must be unique per
+    (client, seqno). A duplicate means the session table failed to
+    suppress a resend — the exactly-once bug this layer exists to
+    prevent. Works on live TraceEvent objects or exported dicts.
+    """
+    applied: dict[tuple, int] = {}
+    for event in trace_events:
+        name = event.name if hasattr(event, "name") else event.get("name")
+        if name != "dir.apply.end":
+            continue
+        args = event.args if hasattr(event, "args") else event.get("args", {})
+        node = event.node if hasattr(event, "node") else event.get("node")
+        client = args.get("client")
+        sess = args.get("sess")
+        if client is None or sess is None:
+            continue
+        if args.get("failed") or args.get("dedup"):
+            continue
+        key = (str(node), client, sess)
+        applied[key] = applied.get(key, 0) + 1
+    return [
+        f"node {node}: session op ({client!r}, seq {sess}) executed "
+        f"{count} times (duplicate application)"
+        for (node, client, sess), count in sorted(applied.items(), key=repr)
+        if count > 1
+    ]
+
+
 @dataclass
 class InvariantReport:
     """Combined verdict of all post-quiescence checks on one run.
@@ -111,6 +266,8 @@ class InvariantReport:
     replicas_equal: bool
     session_violations: list[Violation] = field(default_factory=list)
     lost_updates: list[str] = field(default_factory=list)
+    linearizability_violations: list[str] = field(default_factory=list)
+    duplicate_applies: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -118,6 +275,8 @@ class InvariantReport:
             self.replicas_equal
             and not self.session_violations
             and not self.lost_updates
+            and not self.linearizability_violations
+            and not self.duplicate_applies
         )
 
     def problems(self) -> list[str]:
@@ -126,27 +285,45 @@ class InvariantReport:
             out.append("operational replicas hold divergent state")
         out.extend(v.explanation for v in self.session_violations)
         out.extend(self.lost_updates)
+        out.extend(self.linearizability_violations)
+        out.extend(self.duplicate_applies)
         return out
 
 
 def check_cluster(
-    cluster, history: HistoryRecorder, final_names: set | None = None
+    cluster,
+    history: HistoryRecorder,
+    final_names: set | None = None,
+    private_keys: bool = True,
+    trace_events=None,
 ) -> InvariantReport:
     """Run every invariant against a quiesced cluster + client history.
 
     *final_names* is the final listing used for the lost-update check;
     pass None to skip it (e.g. when no replica is reachable to read
-    the final state from).
+    the final state from). With ``private_keys=False`` the per-client
+    read-your-writes and last-writer checks (which assume disjoint key
+    sets) are replaced by the shared-key linearizability checker.
+    Pass the run's trace events (``cluster.obs.tracer.events()`` or
+    the exported dicts) as *trace_events* to also scan for duplicate
+    session-op applications.
     """
     operational = cluster.operational_servers()
     report = InvariantReport(
         operational=len(operational),
         total_servers=len(cluster.servers),
         replicas_equal=cluster.replicas_consistent(),
-        session_violations=check_private_key_history(history),
     )
-    if final_names is not None:
-        report.lost_updates = check_no_lost_updates(history, final_names)
+    if private_keys:
+        report.session_violations = check_private_key_history(history)
+        if final_names is not None:
+            report.lost_updates = check_no_lost_updates(history, final_names)
+    else:
+        report.linearizability_violations = check_shared_key_linearizability(
+            history
+        )
+    if trace_events is not None:
+        report.duplicate_applies = check_exactly_once_applies(trace_events)
     return report
 
 

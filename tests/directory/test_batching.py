@@ -22,7 +22,7 @@ from repro.directory.admin import COMMIT_BLOCK
 from repro.directory.config import ServiceConfig
 
 
-def run_workload(batch_max, seed=11, trace=False):
+def run_workload(batch_max, seed=11, trace=False, retry_safe=False):
     cluster = GroupServiceCluster(
         seed=seed, name="bt", server_threads=8, batch_max=batch_max
     )
@@ -33,9 +33,12 @@ def run_workload(batch_max, seed=11, trace=False):
     sim = cluster.sim
     root = cluster.root_capability
 
+    def add_client(name):
+        return cluster.add_client(name, retry_safe=retry_safe)
+
     # Sequential setup: subdirectories whose later deletion exercises
     # the commit block's seqno/next_object bookkeeping.
-    setup = cluster.add_client("setup")
+    setup = add_client("setup")
     holder = {}
 
     def do_setup():
@@ -52,19 +55,19 @@ def run_workload(batch_max, seed=11, trace=False):
     # Concurrent phase: one update per client, staggered 3 ms apart.
     ops = []
     for i in range(6):
-        c = cluster.add_client(f"w{i}")
+        c = add_client(f"w{i}")
         ops.append(lambda c=c, i=i: c.append_row(root, f"row{i}", (subs[0],)))
-    c6 = cluster.add_client("w6")
+    c6 = add_client("w6")
     ops.append(lambda: c6.create_dir())
-    c7 = cluster.add_client("w7")
+    c7 = add_client("w7")
     ops.append(lambda: c7.create_dir())
-    c8 = cluster.add_client("w8")
+    c8 = add_client("w8")
     ops.append(lambda: c8.delete_dir(subs[1]))
-    c9 = cluster.add_client("w9")
+    c9 = add_client("w9")
     ops.append(lambda: c9.delete_dir(subs[2]))
-    c10 = cluster.add_client("w10")
+    c10 = add_client("w10")
     ops.append(lambda: c10.delete_row(root, "sub1"))
-    c11 = cluster.add_client("w11")
+    c11 = add_client("w11")
     ops.append(lambda: c11.chmod_row(root, "sub0", 0b011, (subs[0],)))
 
     def one_shot(delay, fn):
@@ -144,6 +147,30 @@ class TestBatchedUnbatchedEquivalence:
                 str(server.me), "dir.batch_size"
             )
             assert hist.count == 0
+
+
+class TestSessionBatchingEquivalence:
+    """The equivalence contract extends to the session layer: session
+    tables ride the object table, so batched and unbatched runs of a
+    retry-safe (session-stamped) workload must still be byte-equal —
+    fingerprints include the session tables."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        return {bm: run_workload(bm, retry_safe=True) for bm in (1, 16)}
+
+    def test_session_workload_byte_equal_across_batch_sizes(self, runs):
+        digests = {bm: state_digest(cluster) for bm, cluster in runs.items()}
+        assert digests[1] == digests[16], "batching changed session state"
+
+    def test_sessions_were_actually_recorded(self, runs):
+        for bm, cluster in runs.items():
+            for server in cluster.servers:
+                assert len(server.state.sessions) >= 12, f"batch_max={bm}"
+
+    def test_replicas_consistent_within_each_run(self, runs):
+        for bm, cluster in runs.items():
+            assert cluster.replicas_consistent(), f"batch_max={bm}"
 
 
 class TestBatchTracing:

@@ -2,8 +2,10 @@
 
 from repro.verify import (
     HistoryRecorder,
+    check_exactly_once_applies,
     check_no_lost_updates,
     check_private_key_history,
+    check_shared_key_linearizability,
 )
 
 
@@ -105,3 +107,113 @@ class TestNoLostUpdates:
         h = HistoryRecorder()
         h.record("a", "lookup", (1, "n"), None, 0.0, 1.0)
         assert check_no_lost_updates(h, set()) == []
+
+
+class TestSharedKeyLinearizability:
+    """Wing-Gong register check over shared-key histories."""
+
+    def test_sequential_history_linearizable(self):
+        h = HistoryRecorder()
+        h.record("c1", "append", "k", "A", 0.0, 1.0)
+        h.record("c2", "lookup", "k", "A", 2.0, 3.0)
+        h.record("c1", "delete", "k", None, 4.0, 5.0)
+        h.record("c2", "lookup", "k", None, 6.0, 7.0)
+        assert check_shared_key_linearizability(h) == []
+
+    def test_stale_read_is_a_violation(self):
+        h = HistoryRecorder()
+        h.record("c1", "append", "k", "A", 0.0, 1.0)
+        h.record("c1", "append", "k", "B", 2.0, 3.0)
+        h.record("c2", "lookup", "k", "A", 4.0, 5.0)  # reads overwritten value
+        problems = check_shared_key_linearizability(h)
+        assert len(problems) == 1 and "'k'" in problems[0]
+
+    def test_concurrent_writes_may_land_in_either_order(self):
+        h = HistoryRecorder()
+        h.record("c1", "append", "k", "A", 0.0, 2.0)
+        h.record("c2", "append", "k", "B", 1.0, 3.0)
+        h.record("c3", "lookup", "k", "A", 4.0, 5.0)  # B then A is legal
+        assert check_shared_key_linearizability(h) == []
+
+    def test_reads_cannot_flip_flop_settled_writes(self):
+        h = HistoryRecorder()
+        h.record("c1", "append", "k", "A", 0.0, 2.0)
+        h.record("c2", "append", "k", "B", 1.0, 3.0)
+        h.record("c3", "lookup", "k", "A", 4.0, 5.0)
+        h.record("c3", "lookup", "k", "B", 6.0, 7.0)  # no B-write remains
+        assert len(check_shared_key_linearizability(h)) == 1
+
+    def test_ambiguous_write_is_optional(self):
+        # The "append?" may be linearized (second read sees B) or not
+        # (first read still sees A) — both at once is also fine because
+        # its linearization point floats freely after its start.
+        h = HistoryRecorder()
+        h.record("c1", "append", "k", "A", 0.0, 1.0)
+        h.record("c2", "append?", "k", "B", 2.0, 9.0)
+        h.record("c3", "lookup", "k", "A", 3.0, 4.0)
+        h.record("c3", "lookup", "k", "B", 5.0, 6.0)
+        assert check_shared_key_linearizability(h) == []
+
+    def test_ambiguous_delete_cannot_unhappen(self):
+        h = HistoryRecorder()
+        h.record("c1", "append", "k", "A", 0.0, 1.0)
+        h.record("c2", "delete?", "k", None, 2.0, 9.0)
+        h.record("c3", "lookup", "k", None, 4.0, 5.0)  # delete linearized
+        h.record("c3", "lookup", "k", "A", 6.0, 7.0)  # ... it can't revert
+        assert len(check_shared_key_linearizability(h)) == 1
+
+    def test_keys_checked_independently(self):
+        h = HistoryRecorder()
+        h.record("c1", "append", "good", "A", 0.0, 1.0)
+        h.record("c2", "lookup", "good", "A", 2.0, 3.0)
+        h.record("c1", "append", "bad", "X", 0.0, 1.0)
+        h.record("c2", "lookup", "bad", "Y", 2.0, 3.0)
+        problems = check_shared_key_linearizability(h)
+        assert len(problems) == 1 and "'bad'" in problems[0]
+
+    def test_definitive_error_kinds_skipped(self):
+        h = HistoryRecorder()
+        h.record("c1", "append!", "k", "AlreadyExists(...)", 0.0, 1.0)
+        h.record("c2", "lookup", "k", None, 2.0, 3.0)
+        assert check_shared_key_linearizability(h) == []
+
+
+def apply_event(node, client, sess, failed=False, dedup=False):
+    return {
+        "name": "dir.apply.end",
+        "node": node,
+        "args": {"client": client, "sess": sess, "failed": failed, "dedup": dedup},
+    }
+
+
+class TestExactlyOnceApplies:
+    def test_double_execution_detected(self):
+        events = [apply_event("s0", "c1", 1), apply_event("s0", "c1", 1)]
+        problems = check_exactly_once_applies(events)
+        assert len(problems) == 1 and "2 times" in problems[0]
+
+    def test_dedup_hits_are_not_executions(self):
+        events = [
+            apply_event("s0", "c1", 1),
+            apply_event("s0", "c1", 1, dedup=True),
+        ]
+        assert check_exactly_once_applies(events) == []
+
+    def test_failed_replay_is_not_an_execution(self):
+        events = [
+            apply_event("s0", "c1", 1, failed=True),
+            apply_event("s0", "c1", 1, failed=True),
+        ]
+        assert check_exactly_once_applies(events) == []
+
+    def test_each_replica_applies_once(self):
+        # Active replication: every node executes every op exactly once.
+        events = [apply_event("s0", "c1", 1), apply_event("s1", "c1", 1)]
+        assert check_exactly_once_applies(events) == []
+
+    def test_unstamped_applies_ignored(self):
+        events = [
+            {"name": "dir.apply.end", "node": "s0", "args": {"failed": False}},
+            {"name": "dir.apply.end", "node": "s0", "args": {"failed": False}},
+        ]
+        assert check_exactly_once_applies(events) == []
