@@ -10,6 +10,7 @@ Usage::
     python -m repro chaos --seeds 25   # adversarial chaos suite
     python -m repro chaos --json       # ... machine-readable verdicts
     python -m repro trace update       # traced run + phase breakdown
+    python -m repro profile update     # per-operation latency budget
 
 Each command prints the measured numbers next to the paper's. For the
 full experiment set (ablations included) run
@@ -184,6 +185,67 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    import json
+    import pathlib
+
+    from repro.obs import breakdown, spans
+    from repro.obs.export import write_trace
+
+    scenario = args.target or "update"
+    if scenario not in breakdown.SCENARIOS:
+        print(f"error: unknown profile scenario {scenario!r}")
+        print(f"known scenarios: {', '.join(sorted(breakdown.SCENARIOS))}")
+        return 2
+    run = breakdown.record_update_trace(
+        scenario, iterations=args.iterations, seed=args.seed
+    )
+    span_list = spans.stitch(run.events, run.windows)
+    report = spans.budget(span_list, top=args.top)
+    recon = spans.reconcile(span_list, run.breakdowns)
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = out_dir / f"{run.scenario}-seed{run.seed}-profile.trace.json"
+    write_trace(
+        run.events + spans.span_track_events(span_list), trace_path, "chrome"
+    )
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "scenario": run.scenario,
+                    "impl": run.impl,
+                    "seed": run.seed,
+                    "iterations": run.iterations,
+                    "events": len(run.events),
+                    "report": report,
+                    "reconciliation": recon,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(spans.format_report(report, run.scenario, run.impl))
+        print()
+        print(
+            f"wrote {trace_path}  (open in https://ui.perfetto.dev — one "
+            "track per operation under the 'profile' process)"
+        )
+        print(
+            f"reconciliation vs Fig. 7 breakdown: max diff "
+            f"{recon['max_abs_diff_ms']:.9f} ms over "
+            f"{recon['phase_values_compared']} phase values"
+        )
+    if not recon["ok"]:
+        if not args.json:
+            print("FAIL: span segments disagree with the phase breakdown")
+        return 1
+    return 0
+
+
 def cmd_demo(args) -> int:
     import pathlib
     import runpy
@@ -248,18 +310,27 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out",
         default="traces",
-        help="trace: output directory for exported traces",
+        help="trace/profile: output directory for exported traces",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=3,
+        help="profile: how many slowest operations to show in full",
     )
     parser.add_argument(
         "command",
-        choices=["fig7", "fig8", "fig9", "all", "demo", "chaos", "trace"],
+        choices=[
+            "fig7", "fig8", "fig9", "all", "demo", "chaos", "trace", "profile",
+        ],
         help="which artifact to regenerate",
     )
     parser.add_argument(
         "target",
         nargs="?",
         default=None,
-        help="trace: scenario to record (update | nvram-update | lookup)",
+        help="trace/profile: scenario to record "
+        "(update | nvram-update | lookup)",
     )
     args = parser.parse_args(argv)
     handler = {
@@ -270,6 +341,7 @@ def main(argv=None) -> int:
         "demo": cmd_demo,
         "chaos": cmd_chaos,
         "trace": cmd_trace,
+        "profile": cmd_profile,
     }[args.command]
     return handler(args)
 

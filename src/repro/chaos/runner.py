@@ -37,6 +37,7 @@ from repro.errors import DirectoryError, ReproError, SimulationError
 from repro.faults.plan import FaultPlan
 from repro.net.policy import Drop, Duplicate, Delay, LinkFilter, Reorder
 from repro.obs.export import to_jsonl
+from repro.obs.monitor import HealthMonitor
 from repro.rpc.client import RpcTimings
 from repro.verify import HistoryRecorder, InvariantReport, check_cluster
 
@@ -85,6 +86,11 @@ class Scenario:
     #: Shared-key scenarios need the whole window's apply events so
     #: the duplicate-apply scan sees both halves of a duplicate pair.
     flight_recorder_capacity: int | None = None
+    #: Health-monitor contract. True: at least one alert must fire
+    #: inside the fault window AND every alert must clear by the end
+    #: of the settle tail. False: the monitor must stay silent for the
+    #: whole run (fault-free controls). None: record, don't assert.
+    expect_alerts: bool | None = None
 
 
 @dataclass
@@ -110,6 +116,14 @@ class ScenarioVerdict:
     #: next to the flight recorder so violations can be replayed).
     history_events: list = field(default_factory=list)
     history_path: str | None = None
+    #: Health-monitor outcome (repro.obs.monitor): every alert/clear,
+    #: how many alerts landed inside the fault window, and whatever
+    #: was still active when the run ended.
+    alerts: list = field(default_factory=list)
+    alert_clears: list = field(default_factory=list)
+    active_alerts: list = field(default_factory=list)
+    alerts_in_fault_window: int = 0
+    monitor_ticks: int = 0
 
     def as_dict(self) -> dict:
         """JSON-serializable form (``python -m repro chaos --json``)."""
@@ -132,6 +146,13 @@ class ScenarioVerdict:
             "fingerprints": [str(f) for f in self.fingerprints],
             "trace_events": len(self.trace_events),
             "trace_path": self.trace_path,
+            "health": {
+                "ticks": self.monitor_ticks,
+                "alerts": [a.as_dict() for a in self.alerts],
+                "clears": [c.as_dict() for c in self.alert_clears],
+                "active_at_end": [a.as_dict() for a in self.active_alerts],
+                "alerts_in_fault_window": self.alerts_in_fault_window,
+            },
         }
         if self.report is not None:
             out["invariants"] = {
@@ -285,6 +306,7 @@ SCENARIOS: list[Scenario] = [
         "sequencer_crash",
         "crash whoever is sequencer, mid-broadcast, twice",
         _nemesis_builder("sequencer_crash"),
+        expect_alerts=True,
     ),
     Scenario(
         "asymmetric_loss",
@@ -295,6 +317,7 @@ SCENARIOS: list[Scenario] = [
         "partition_during_recovery",
         "partition a replica while it runs Fig. 6 recovery",
         _nemesis_builder("partition_during_recovery"),
+        expect_alerts=True,
     ),
     Scenario(
         "duplication",
@@ -305,6 +328,7 @@ SCENARIOS: list[Scenario] = [
         "crash_during_restart",
         "re-crash a replica in the middle of its recovery",
         _nemesis_builder("crash_during_restart"),
+        expect_alerts=True,
     ),
     Scenario(
         "reordering",
@@ -320,6 +344,7 @@ SCENARIOS: list[Scenario] = [
         "flapping_links",
         "rapid isolate/heal cycles against single replicas",
         _nemesis_builder("flapping_links"),
+        expect_alerts=True,
     ),
     Scenario(
         "delay_spikes",
@@ -330,6 +355,7 @@ SCENARIOS: list[Scenario] = [
         "random_soak",
         "seeded random crash/restart/partition schedule",
         _nemesis_builder("random_soak"),
+        expect_alerts=True,
     ),
     Scenario(
         "grand_tour",
@@ -345,6 +371,7 @@ SCENARIOS: list[Scenario] = [
         shared_keys=True,
         n_clients=4,
         flight_recorder_capacity=65_536,
+        expect_alerts=True,
     ),
     Scenario(
         "retry_storm_nodedup",
@@ -371,6 +398,14 @@ SCENARIOS: list[Scenario] = [
         ),
         cluster_kind="rpc",
         n_clients=2,
+    ),
+    Scenario(
+        "fault_free_control",
+        "CONTROL: no faults at all — the health monitor must stay "
+        "silent for the whole run",
+        lambda cluster, rng, start, window: FaultPlan(),
+        expect_alerts=False,
+        in_rotation=False,
     ),
     Scenario(
         "majority_lost",
@@ -464,6 +499,9 @@ def _run(
         scenario.flight_recorder_capacity or FLIGHT_RECORDER_CAPACITY
     )
     sim = cluster.sim
+    # The watchdog starts with the cluster healthy: its baseline
+    # window is fault-free, so anything it raises later is signal.
+    monitor = HealthMonitor(sim).start()
     root = cluster.root_capability
     history = HistoryRecorder()
     start = sim.now
@@ -632,6 +670,32 @@ def _run(
     )
     problems.extend(report.problems())
 
+    # The health-monitor contract. "Inside the fault window" allows a
+    # short tail past the last scheduled fault: effects like heartbeat
+    # staleness cross their threshold only after the fault lands.
+    alerts_in_window = monitor.alerts_between(
+        start + WARMUP_MS, deadline + 5_000.0
+    )
+    if scenario.expect_alerts is True:
+        if not alerts_in_window:
+            problems.append(
+                "health monitor: no alert fired during the fault window"
+            )
+        if monitor.active_alerts:
+            problems.append(
+                "health monitor: alerts still active after recovery: "
+                + ", ".join(
+                    f"{a.node}/{a.signal}" for a in monitor.active_alerts
+                )
+            )
+    elif scenario.expect_alerts is False and monitor.alerts:
+        first = monitor.alerts[0]
+        problems.append(
+            f"health monitor: {len(monitor.alerts)} alert(s) on a "
+            f"fault-free run (first: {first.node}/{first.signal}="
+            f"{first.value:.3f} at {first.at_ms:.0f} ms)"
+        )
+
     if scenario.expect_available:
         if not available:
             status = "unavailable"
@@ -678,6 +742,11 @@ def _run(
         simulated_ms=sim.now,
         trace_events=list(cluster.obs.tracer.events()),
         history_events=list(history.events),
+        alerts=list(monitor.alerts),
+        alert_clears=list(monitor.clears),
+        active_alerts=list(monitor.active_alerts),
+        alerts_in_fault_window=len(alerts_in_window),
+        monitor_ticks=monitor.ticks,
     )
 
 

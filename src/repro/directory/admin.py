@@ -114,13 +114,13 @@ class AdminPartition:
 
     # -- boot ---------------------------------------------------------------
 
-    def load(self):
+    def load(self, lineage=None):
         """Read the partition back after a restart (``yield from``).
 
         Returns the decoded commit block; the object-table mirror is
         rebuilt as a side effect.
         """
-        raw = yield from self.partition.read_block(COMMIT_BLOCK)
+        raw = yield from self.partition.read_block(COMMIT_BLOCK, lineage=lineage)
         self.commit = CommitBlock.from_bytes(raw, self.n_servers)
         self.entries = {}
         self.entry_checks = {}
@@ -162,14 +162,15 @@ class AdminPartition:
             self._session_block_map[client_id] = index
         # One sequential sweep over the table.
         yield from self.partition.disk._occupy(
-            "sequential", (self.partition.length - 1) * 1024
+            "sequential", (self.partition.length - 1) * 1024, lineage=lineage
         )
         return self.commit
 
     # -- commit block ----------------------------------------------------------
 
     def write_commit_block(
-        self, config_vector=None, seqno=None, recovering=None, next_object=None
+        self, config_vector=None, seqno=None, recovering=None, next_object=None,
+        lineage=None,
     ):
         """Update and persist block 0 (one synchronous random write)."""
         if config_vector is not None:
@@ -180,7 +181,9 @@ class AdminPartition:
             self.commit.recovering = recovering
         if next_object is not None:
             self.commit.next_object = max(self.commit.next_object, next_object)
-        yield from self.partition.write_block(COMMIT_BLOCK, self.commit.to_bytes())
+        yield from self.partition.write_block(
+            COMMIT_BLOCK, self.commit.to_bytes(), lineage=lineage
+        )
 
     # -- object table ------------------------------------------------------------
 
@@ -194,7 +197,9 @@ class AdminPartition:
             + check.to_bytes(6, "big")
         )
 
-    def store_entry(self, obj: int, cap: Capability, seqno: int, check: int = 0):
+    def store_entry(
+        self, obj: int, cap: Capability, seqno: int, check: int = 0, lineage=None
+    ):
         """Write one object-table entry (Bullet capability, seqno, and
         the directory's owner check) with a shadow-page commit — two
         synchronous random writes."""
@@ -205,8 +210,8 @@ class AdminPartition:
             block = self._free_blocks.pop(0)
             self._block_of[obj] = block
         encoded = self._encode_entry(obj, cap, seqno, check)
-        yield from self.partition.write_block(SHADOW_BLOCK, encoded)
-        yield from self.partition.write_block(block, encoded)
+        yield from self.partition.write_block(SHADOW_BLOCK, encoded, lineage=lineage)
+        yield from self.partition.write_block(block, encoded, lineage=lineage)
         self.entries[obj] = (cap, seqno)
         self.entry_checks[obj] = check
 
@@ -231,13 +236,13 @@ class AdminPartition:
         self._session_block_map[client_id] = block
         return block
 
-    def store_session(self, client_id: str, entry: SessionEntry):
+    def store_session(self, client_id: str, entry: SessionEntry, lineage=None):
         """Persist one client's session record — a single synchronous
         block write (single-block writes are atomic, so no shadow
         page is needed: the record is replaced whole or not at all)."""
         block = self._session_block_for(client_id)
         yield from self.partition.write_block(
-            block, encode_session_record(client_id, entry)
+            block, encode_session_record(client_id, entry), lineage=lineage
         )
         self.session_entries[client_id] = entry
 
@@ -248,6 +253,7 @@ class AdminPartition:
         commit_seqno: int | None = None,
         commit_next_object: int | None = None,
         session_stores=(),
+        lineage=None,
     ):
         """Group-commit several object-table updates in ONE disk flush.
 
@@ -312,25 +318,27 @@ class AdminPartition:
                     encode_session_record(client_id, entry),
                 )
             )
-        yield from self.partition.write_blocks(writes)
+        yield from self.partition.write_blocks(writes, lineage=lineage)
         for obj, cap, seqno, check in stores:
             self.entries[obj] = (cap, seqno)
             self.entry_checks[obj] = check
         for client_id, entry in session_stores:
             self.session_entries[client_id] = entry
 
-    def remove_entry(self, obj: int, commit_seqno: int, next_object: int = 0):
+    def remove_entry(self, obj: int, commit_seqno: int, next_object: int = 0, lineage=None):
         """Drop a directory's entry and record the deletion in the
         commit block's sequence number (the paper's rationale for
         keeping a seqno there at all). The allocation high-water mark
         rides along so deleted object numbers are never reused."""
         block = self._block_of.pop(obj, None)
         if block is not None:
-            yield from self.partition.write_block(block, b"")
+            yield from self.partition.write_block(block, b"", lineage=lineage)
             self._free_blocks.append(block)
         self.entries.pop(obj, None)
         self.entry_checks.pop(obj, None)
-        yield from self.write_commit_block(seqno=commit_seqno, next_object=next_object)
+        yield from self.write_commit_block(
+            seqno=commit_seqno, next_object=next_object, lineage=lineage
+        )
 
     def highest_seqno(self, ignore_recovering: bool = False) -> int:
         """Max over entry seqnos and the commit-block seqno — the

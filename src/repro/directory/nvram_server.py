@@ -66,7 +66,7 @@ class NvramDirectoryServer(GroupDirectoryServer):
     # the NVRAM commit path
     # ------------------------------------------------------------------
 
-    def _persist_effects(self, op, effects):
+    def _persist_effects(self, op, effects, lineage=None):
         if not (effects.touched or effects.deleted or effects.sessions):
             return  # dedup hit: replayed reply, nothing to log
         self._last_update_at = self.sim.now
@@ -85,7 +85,9 @@ class NvramDirectoryServer(GroupDirectoryServer):
                 # server's CPU, so updates serialize through it (this
                 # is what puts the Fig. 9 ceiling near 45 pairs/s).
                 yield from self.transport.cpu.use(self.nvram.write_ms)
-                yield from self.nvram.append(record, charge_time=False)
+                yield from self.nvram.append(
+                    record, charge_time=False, lineage=lineage
+                )
                 break
             except NvramFull:
                 # Synchronous pressure flush, then retry the append.
@@ -96,7 +98,7 @@ class NvramDirectoryServer(GroupDirectoryServer):
             self._deleted_dirty.add(obj)
         self._dirty_sessions.update(effects.sessions)
 
-    def _persist_batch(self, items):
+    def _persist_batch(self, items, lineage=None):
         """Batched commit path: the whole batch's log appends go to
         the board under one programmed-I/O CPU grant (the bus writes
         stream back-to-back instead of paying one scheduler round
@@ -123,7 +125,9 @@ class NvramDirectoryServer(GroupDirectoryServer):
             )
             while True:
                 try:
-                    yield from self.nvram.append(record, charge_time=False)
+                    yield from self.nvram.append(
+                        record, charge_time=False, lineage=lineage
+                    )
                     owed_cpu_ms += self.nvram.write_ms
                     break
                 except NvramFull:
@@ -209,9 +213,11 @@ class NvramDirectoryServer(GroupDirectoryServer):
         are kept — their directories are in the fresh dirty set.
         """
         flush_floor = self.state.update_seqno
+        flush_lineage = ("flush", str(self.me))
         if self._obs.tracer.enabled:
             self._obs.tracer.emit(
                 str(self.me), "dir", "dir.flush.start",
+                lineage=flush_lineage,
                 logged=len(self.nvram), dirty=len(self._dirty),
             )
         dirty, self._dirty = self._dirty, set()
@@ -222,9 +228,10 @@ class NvramDirectoryServer(GroupDirectoryServer):
                 continue
             data = self.state.directories[obj].to_bytes()
             old_entry = self.admin.entries.get(obj)
-            new_cap = yield from self.bullet.create(data)
+            new_cap = yield from self.bullet.create(data, lineage=flush_lineage)
             yield from self.admin.store_entry(
-                obj, new_cap, self.state.update_seqno, self.state.checks[obj]
+                obj, new_cap, self.state.update_seqno, self.state.checks[obj],
+                lineage=flush_lineage,
             )
             if old_entry is not None:
                 self._remove_bullet_file_later(old_entry[0])
@@ -232,7 +239,8 @@ class NvramDirectoryServer(GroupDirectoryServer):
             if obj in self.admin.entries:
                 old_cap = self.admin.entries[obj][0]
                 yield from self.admin.remove_entry(
-                    obj, self.state.update_seqno, self.state.next_object
+                    obj, self.state.update_seqno, self.state.next_object,
+                    lineage=flush_lineage,
                 )
                 self._remove_bullet_file_later(old_cap)
         # Session records flush after the data (same rationale as the
@@ -244,13 +252,16 @@ class NvramDirectoryServer(GroupDirectoryServer):
         for client_id in sorted(dirty_sessions):
             entry = self.state.sessions.get(client_id)
             if entry is not None:
-                yield from self.admin.store_session(client_id, entry)
+                yield from self.admin.store_session(
+                    client_id, entry, lineage=flush_lineage
+                )
         # Everything up to flush_floor is now on disk: those records
         # may leave the board. (Later records stay for the next flush.)
         self.nvram.remove_flushed(lambda r: r.payload[1] <= flush_floor)
         if self._obs.tracer.enabled:
             self._obs.tracer.emit(
-                str(self.me), "dir", "dir.flush.end", remaining=len(self.nvram)
+                str(self.me), "dir", "dir.flush.end",
+                lineage=flush_lineage, remaining=len(self.nvram),
             )
 
     # ------------------------------------------------------------------

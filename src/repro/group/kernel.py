@@ -98,6 +98,13 @@ class GroupKernel:
         self._c_views = registry.counter(node, "group.views_adopted")
         self._c_resets = registry.counter(node, "group.resets_led")
         self._c_delivered = registry.counter(node, "group.delivered")
+        #: Sequenced-but-undelivered depth (received - taken): how far
+        #: the application lags the stream this member holds. The
+        #: health monitor watches this for sequencer/apply backlog.
+        self._g_backlog = registry.gauge(node, "group.backlog")
+        #: Sim-time of the last heartbeat evidence (sequencer: own
+        #: tick; member: hb received). Staleness = now - value.
+        self._g_last_hb = registry.gauge(node, "group.last_heartbeat_ms")
 
         # Membership.
         self.state = STATE_IDLE
@@ -187,6 +194,15 @@ class GroupKernel:
     def _stamp(self) -> dict:
         return {"instance": self.instance, "inc": self.incarnation}
 
+    def _update_backlog(self) -> None:
+        """Refresh the ``group.backlog`` gauge after received/taken moved."""
+        self._g_backlog.set(self.received - self.taken)
+
+    def _note_heartbeat(self) -> None:
+        """Stamp heartbeat evidence (field + gauge) at the current time."""
+        self.last_heartbeat = self.sim.now
+        self._g_last_hb.set(self.sim.now)
+
     def _current(self, payload: dict) -> bool:
         """Is this packet from our group instance and incarnation?"""
         if payload.get("instance") != self.instance:
@@ -217,6 +233,7 @@ class GroupKernel:
         self.history.clear()
         self.sequenced_ids.clear()
         self.received = self.committed = self.taken = -1
+        self._update_backlog()
         self.next_assign = 0
         self.ack_progress = {}
         self.last_echo = {}
@@ -256,14 +273,20 @@ class GroupKernel:
         self._next_msg_number += 1
         return (self.me, self._epoch, self._next_msg_number)
 
-    def submit(self, payload: Any, size: int) -> Future:
+    def submit(self, payload: Any, size: int, msg_id: tuple | None = None) -> Future:
         """Start one SendToGroup; future resolves with the assigned
-        seqno once the message is r-safe (committed)."""
+        seqno once the message is r-safe (committed).
+
+        Callers that already minted a msg id (to stamp trace events
+        emitted *before* the submit, e.g. the directory's request-
+        received marker) pass it in; everyone else gets a fresh one.
+        """
         fut = Future(f"send({self.group}@{self.me})")
         if self.state != STATE_MEMBER:
             fut.fail(GroupFailure(f"not a group member ({self.state})"))
             return fut
-        msg_id = self.new_msg_id()
+        if msg_id is None:
+            msg_id = self.new_msg_id()
         self._c_submitted.inc()
         if self._obs.tracer.enabled:
             self._obs.tracer.emit(
@@ -343,6 +366,7 @@ class GroupKernel:
             )
         if self.received == seqno - 1:
             self.received = seqno
+            self._update_backlog()
         if self._required_acks() == 0 and self.received > self.committed:
             # With r = 0 (or a single-member view) the commit horizon
             # rides on the multicast itself: no separate commit packet.
@@ -392,8 +416,10 @@ class GroupKernel:
             self.committed = safe
             self._c_commits.inc()
             if self._obs.tracer.enabled:
+                frontier = self.history.get(self.committed)
                 self._obs.tracer.emit(
                     str(self.me), "group", "grp.commit",
+                    lineage=frontier.msg_id if frontier else ("commit", str(self.me)),
                     committed=self.committed,
                 )
             self._broadcast("commit", {**self._stamp(), "committed": self.committed})
@@ -461,6 +487,7 @@ class GroupKernel:
     def _advance_received(self) -> None:
         while (self.received + 1) in self.history:
             self.received += 1
+        self._update_backlog()
         if self.received >= self.committed:
             self._retrans_requested_at = None
 
@@ -501,6 +528,7 @@ class GroupKernel:
             if self._obs.tracer.enabled:
                 self._obs.tracer.emit(
                     str(self.me), "group", "grp.retrans.req",
+                    lineage=("life", str(self.me)),
                     missing_from=self.received + 1,
                 )
             self._send(
@@ -538,7 +566,7 @@ class GroupKernel:
     def _start_ticker(self) -> None:
         if self._ticker is not None:
             self._ticker.kill("ticker restart")
-        self.last_heartbeat = self.sim.now
+        self._note_heartbeat()
         self._ticker = self.sim.spawn(
             self._tick_loop(), f"grp({self.group}@{self.me}).ticker"
         )
@@ -565,7 +593,7 @@ class GroupKernel:
         # The sequencer's own heartbeat traffic is this tick; keeping
         # the stamp fresh matters if this kernel later demotes to an
         # ordinary member without an intervening view adoption.
-        self.last_heartbeat = self.sim.now
+        self._note_heartbeat()
         self._prune_history()
         timeout = self.timings.echo_timeout_ms
         for member in list(self.view):
@@ -618,7 +646,7 @@ class GroupKernel:
         payload = packet.payload
         if not self._current(payload) or self.state != STATE_MEMBER:
             return
-        self.last_heartbeat = self.sim.now
+        self._note_heartbeat()
         if payload["next_assign"] - 1 > self.received:
             self._maybe_request_retrans()
         self._note_commit(payload["committed"])
@@ -644,6 +672,7 @@ class GroupKernel:
         if self._obs.tracer.enabled:
             self._obs.tracer.emit(
                 str(self.me), "group", "grp.fail",
+                lineage=("life", str(self.me)),
                 reason=reason, announce=announce,
             )
         if announce:
@@ -810,12 +839,13 @@ class GroupKernel:
         was_member = self.state == STATE_MEMBER
         self.state = STATE_MEMBER
         self.failure_reason = ""
-        self.last_heartbeat = self.sim.now
+        self._note_heartbeat()
         self._promise = (self.incarnation, "")
         self._c_views.inc()
         if self._obs.tracer.enabled:
             self._obs.tracer.emit(
                 str(self.me), "group", "grp.view",
+                lineage=("life", str(self.me)),
                 inc=self.incarnation, members=len(self.view),
                 sequencer=str(self.sequencer), joining=joining,
             )
@@ -964,11 +994,12 @@ class GroupKernel:
         self.state = STATE_MEMBER
         self.failure_reason = ""
         self._promise = (self.incarnation, "")
-        self.last_heartbeat = self.sim.now
+        self._note_heartbeat()
         self._c_resets.inc()
         if self._obs.tracer.enabled:
             self._obs.tracer.emit(
                 str(self.me), "group", "grp.reset",
+                lineage=("life", str(self.me)),
                 inc=self.incarnation, survivors=len(self.view),
             )
         tail = [self.history[s] for s in sorted(self.history) if s > min(

@@ -148,9 +148,14 @@ class GroupMember:
 
     # -- messaging ----------------------------------------------------------------
 
-    def send_to_group(self, payload: Any, size: int = 128):
-        """SendToGroup: returns the assigned seqno once r-safe."""
-        seqno = yield self.kernel.submit(payload, size)
+    def send_to_group(self, payload: Any, size: int = 128, msg_id: tuple | None = None):
+        """SendToGroup: returns the assigned seqno once r-safe.
+
+        *msg_id* lets the application pre-mint the message id (via
+        ``kernel.new_msg_id()``) so trace events emitted before the
+        submit share the message's lineage.
+        """
+        seqno = yield self.kernel.submit(payload, size, msg_id=msg_id)
         return seqno
 
     def receive(self):
@@ -206,6 +211,7 @@ class GroupMember:
         """Count + trace one ordered delivery to the application."""
         kernel = self.kernel
         kernel._c_delivered.inc()
+        kernel._update_backlog()
         if kernel._obs.tracer.enabled:
             kernel._obs.tracer.emit(
                 str(kernel.me), "group", "grp.deliver",

@@ -10,6 +10,15 @@ The subsystem has three parts (ISSUE 2 tentpole):
 * :mod:`repro.obs.export` — exporters: JSONL, Chrome trace-event format
   (Perfetto-viewable, one track per machine), and a text timeline.
 
+Two consumers sit on top (ISSUE 5 tentpole):
+
+* :mod:`repro.obs.spans` — stitches lineage-stamped trace events into
+  per-operation causal span trees and a deterministic latency-budget
+  report (``python -m repro profile``);
+* :mod:`repro.obs.monitor` — an in-sim health watchdog that samples
+  the registry on a cadence and raises/clears hysteresis alerts
+  (started on every chaos scenario).
+
 Every :class:`~repro.sim.scheduler.Simulator` owns one
 :class:`Observability` bundle as ``sim.obs``. Tracing is **off** by
 default and costs one attribute check per instrumented call site; the
@@ -21,15 +30,25 @@ update run into a wire/sequencer/compute/disk latency attribution.
 """
 
 from repro.obs.export import to_chrome_trace, to_jsonl, to_text, write_trace
+from repro.obs.monitor import (
+    DEFAULT_THRESHOLDS,
+    Alert,
+    HealthMonitor,
+    Threshold,
+)
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import Observability, TraceEvent, TraceRecorder
 
 __all__ = [
+    "Alert",
     "Counter",
+    "DEFAULT_THRESHOLDS",
     "Gauge",
+    "HealthMonitor",
     "Histogram",
     "MetricsRegistry",
     "Observability",
+    "Threshold",
     "TraceEvent",
     "TraceRecorder",
     "to_chrome_trace",

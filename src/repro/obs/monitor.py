@@ -1,0 +1,275 @@
+"""The in-sim health watchdog: registry sampling + hysteresis alerts.
+
+A :class:`HealthMonitor` is a simulated process that wakes on a fixed
+cadence, reads the metrics registry (and *only* the registry — it has
+no privileged view into server internals), derives a small set of
+health signals per node, and runs each through a two-threshold
+hysteresis state machine:
+
+* the signal rising to ``alert_above`` raises an **alert** (recorded,
+  and emitted as a ``mon.alert`` trace event when the flight recorder
+  is on);
+* the signal falling back to ``clear_below`` **clears** it
+  (``mon.clear``) — the gap between the thresholds stops a signal
+  hovering near the line from flapping.
+
+Signals (see docs/OBSERVABILITY.md, "Health monitoring"):
+
+========================    =================================================
+``group.backlog``           window mean of sequenced-but-undelivered
+                            messages (gauge area differencing)
+``disk.queue_depth``        window mean of ops waiting for / holding the arm
+``group.retrans_rate``      retransmission requests per second (counter rate)
+``session.dup_rate``        session reply-cache hits per second — a burst
+                            means clients are resending committed updates
+``group.heartbeat_staleness``  ms since the member last saw (or sent) a
+                            group heartbeat — the failure-detector's view
+``group.view_churn``        view adoptions per second — any membership
+                            change (crash, partition, rejoin) churns views
+                            on the surviving side, while a steady group
+                            adopts none at all
+========================    =================================================
+
+Gauges are sampled by *area differencing*: the window mean over
+``[a, b]`` is ``(area(b) - area(a)) / (b - a)``, which no instant
+sample can fake — a queue that spikes and drains between ticks still
+shows up. Everything is deterministic: same seed, same alerts.
+
+The chaos runner (:mod:`repro.chaos.runner`) starts a monitor on every
+scenario; nemesis runs must raise at least one alert inside the fault
+window and end with every alert cleared, while fault-free control runs
+must stay silent end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Default sampling cadence: four ticks per heartbeat-failure window,
+#: fine enough to land inside every chaos fault window.
+DEFAULT_INTERVAL_MS = 500.0
+
+
+@dataclass(frozen=True)
+class Threshold:
+    """One signal's hysteresis pair (alert high, clear low)."""
+
+    signal: str
+    alert_above: float
+    clear_below: float
+    unit: str = ""
+    description: str = ""
+
+
+#: Calibrated against fault-free runs of every deployment (the control
+#: scenario sweeps seeds and asserts silence) and against the nemesis
+#: rotation (every fault window must trip at least one of these).
+DEFAULT_THRESHOLDS = (
+    Threshold(
+        "group.backlog", 8.0, 2.0, "msgs",
+        "sequenced messages not yet delivered to the state machine",
+    ),
+    Threshold(
+        "disk.queue_depth", 4.0, 1.5, "ops",
+        "operations waiting for (or holding) the disk arm",
+    ),
+    Threshold(
+        "group.retrans_rate", 4.0, 0.5, "req/s",
+        "gap-repair retransmission requests per second",
+    ),
+    # A reply-cache hit means a client resent an already-committed
+    # update: one hit per sampling window (2/s at the default cadence)
+    # is already anomalous on a healthy network, so the threshold sits
+    # just under a single hit, like view churn below.
+    Threshold(
+        "session.dup_rate", 1.9, 0.1, "hits/s",
+        "session reply-cache hits per second (duplicate resends)",
+    ),
+    Threshold(
+        "group.heartbeat_staleness", 400.0, 150.0, "ms",
+        "time since the member last saw or sent a group heartbeat",
+    ),
+    # One adoption inside a sampling window reads as 1/interval per
+    # second (2/s at the default cadence): the alert threshold sits
+    # just under that, so a single membership change trips it and a
+    # single quiet window clears it. A partitioned minority member
+    # re-forms a solo view (heartbeating itself, staleness low) — the
+    # churn it causes on BOTH sides is what this signal catches.
+    Threshold(
+        "group.view_churn", 1.9, 0.1, "views/s",
+        "group view adoptions per second (membership churn)",
+    ),
+)
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One raised (or cleared) alert instance."""
+
+    at_ms: float
+    node: str
+    signal: str
+    value: float
+    threshold: float
+    kind: str = "alert"  # "alert" | "clear"
+
+    def as_dict(self) -> dict:
+        return {
+            "at_ms": round(self.at_ms, 3),
+            "node": self.node,
+            "signal": self.signal,
+            "value": round(self.value, 6),
+            "threshold": self.threshold,
+            "kind": self.kind,
+        }
+
+
+class HealthMonitor:
+    """Sample the registry on a cadence; raise/clear hysteresis alerts."""
+
+    def __init__(
+        self,
+        sim,
+        registry=None,
+        interval_ms: float = DEFAULT_INTERVAL_MS,
+        thresholds=DEFAULT_THRESHOLDS,
+    ):
+        self.sim = sim
+        self.registry = registry if registry is not None else sim.obs.registry
+        self.interval_ms = interval_ms
+        self.thresholds = {t.signal: t for t in thresholds}
+        self.alerts: list[Alert] = []
+        self.clears: list[Alert] = []
+        self.ticks = 0
+        self._active: dict = {}  # (node, signal) -> Alert
+        self._gauge_marks: dict = {}  # (node, metric) -> last area
+        self._counter_marks: dict = {}  # (node, metric) -> last value
+        self._last_tick: float | None = None
+        self._process = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "HealthMonitor":
+        """Baseline every instrument now, then sample forever."""
+        self._baseline()
+        self._process = self.sim.spawn(self._run(), "health-monitor")
+        return self
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.kill("health monitor stopped")
+            self._process = None
+
+    def _run(self):
+        while True:
+            yield self.sim.sleep(self.interval_ms)
+            self.tick()
+
+    def _baseline(self) -> None:
+        """Mark current areas/counts so the first window starts clean."""
+        self._last_tick = self.sim.now
+        for metric in ("group.backlog", "disk.queue_depth"):
+            for node, gauge in self.registry.find_gauges(metric):
+                self._gauge_marks[(node, metric)] = gauge.area()
+        for metric in (
+            "group.retrans_requested",
+            "session.cache_hits",
+            "group.views_adopted",
+        ):
+            for node, counter in self.registry.find_counters(metric):
+                self._counter_marks[(node, metric)] = counter.value
+
+    # -- sampling ----------------------------------------------------------
+
+    def tick(self) -> dict:
+        """Take one sample window; returns ``{(node, signal): value}``."""
+        now = self.sim.now
+        dt = now - (self._last_tick if self._last_tick is not None else now)
+        self._last_tick = now
+        self.ticks += 1
+        samples = self.sample(dt)
+        for (node, signal), value in sorted(samples.items()):
+            self._update(now, node, signal, value)
+        return samples
+
+    def sample(self, dt_ms: float) -> dict:
+        """Compute every (node, signal) value for a window of *dt_ms*."""
+        samples: dict = {}
+        for metric, signal in (
+            ("group.backlog", "group.backlog"),
+            ("disk.queue_depth", "disk.queue_depth"),
+        ):
+            for node, gauge in self.registry.find_gauges(metric):
+                area = gauge.area()
+                prev = self._gauge_marks.get((node, metric), area)
+                self._gauge_marks[(node, metric)] = area
+                samples[(node, signal)] = (
+                    (area - prev) / dt_ms if dt_ms > 0.0 else gauge.value
+                )
+        for metric, signal in (
+            ("group.retrans_requested", "group.retrans_rate"),
+            ("session.cache_hits", "session.dup_rate"),
+            ("group.views_adopted", "group.view_churn"),
+        ):
+            for node, counter in self.registry.find_counters(metric):
+                prev = self._counter_marks.get((node, metric), counter.value)
+                self._counter_marks[(node, metric)] = counter.value
+                samples[(node, signal)] = (
+                    (counter.value - prev) * 1000.0 / dt_ms
+                    if dt_ms > 0.0
+                    else 0.0
+                )
+        now = self.sim.now
+        for node, gauge in self.registry.find_gauges("group.last_heartbeat_ms"):
+            samples[(node, "group.heartbeat_staleness")] = now - gauge.value
+        return samples
+
+    # -- hysteresis --------------------------------------------------------
+
+    def _update(self, now: float, node: str, signal: str, value: float) -> None:
+        threshold = self.thresholds.get(signal)
+        if threshold is None:
+            return
+        key = (node, signal)
+        active = self._active.get(key)
+        if active is None and value >= threshold.alert_above:
+            alert = Alert(now, node, signal, value, threshold.alert_above)
+            self._active[key] = alert
+            self.alerts.append(alert)
+            self._emit("mon.alert", alert)
+        elif active is not None and value <= threshold.clear_below:
+            del self._active[key]
+            clear = Alert(
+                now, node, signal, value, threshold.clear_below, kind="clear"
+            )
+            self.clears.append(clear)
+            self._emit("mon.clear", clear)
+
+    def _emit(self, name: str, alert: Alert) -> None:
+        self.sim.obs.emit(
+            alert.node, "mon", name,
+            lineage=("mon", alert.node),
+            signal=alert.signal,
+            value=round(alert.value, 6),
+            threshold=alert.threshold,
+        )
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def active_alerts(self) -> list:
+        """Alerts raised and not yet cleared, deterministically ordered."""
+        return [self._active[key] for key in sorted(self._active)]
+
+    def alerts_between(self, start_ms: float, end_ms: float) -> list:
+        """Alerts raised inside ``[start_ms, end_ms]``."""
+        return [a for a in self.alerts if start_ms <= a.at_ms <= end_ms]
+
+    def summary(self) -> dict:
+        """JSON-safe digest (the chaos verdict embeds this)."""
+        return {
+            "ticks": self.ticks,
+            "alerts": [a.as_dict() for a in self.alerts],
+            "clears": [c.as_dict() for c in self.clears],
+            "active": [a.as_dict() for a in self.active_alerts],
+        }

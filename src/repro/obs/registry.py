@@ -73,8 +73,19 @@ class Gauge:
         elapsed = now - self._start
         if elapsed <= 0.0:
             return self.value
-        area = self._area + self.value * (now - self._last)
-        return area / elapsed
+        return self.area() / elapsed
+
+    def area(self) -> float:
+        """Integral of the level over simulated time, extended to *now*.
+
+        The running integral only advances on :meth:`set`, so the area
+        must include the current level held from the last set until the
+        snapshot instant (a gauge set at t=10 and read at t=100 weights
+        the final level over [10,100]). Window means over [a,b] are
+        ``(area_at_b - area_at_a) / (b - a)`` — the health monitor
+        differences this per sampling interval.
+        """
+        return self._area + self.value * (self._clock() - self._last)
 
 
 class Histogram:
@@ -187,6 +198,20 @@ class MetricsRegistry:
         self.histogram(node, name).observe(value, weight)
 
     # -- introspection ----------------------------------------------------
+
+    def find_counters(self, name: str) -> list[tuple[str, Counter]]:
+        """Every (node, counter) registered under *name*, node-sorted."""
+        return sorted(
+            ((node, c) for (node, n), c in self._counters.items() if n == name),
+            key=lambda pair: pair[0],
+        )
+
+    def find_gauges(self, name: str) -> list[tuple[str, Gauge]]:
+        """Every (node, gauge) registered under *name*, node-sorted."""
+        return sorted(
+            ((node, g) for (node, n), g in self._gauges.items() if n == name),
+            key=lambda pair: pair[0],
+        )
 
     def nodes(self) -> list[str]:
         seen = {node for node, _ in self._counters}

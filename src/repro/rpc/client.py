@@ -59,6 +59,11 @@ class RpcClient:
         self._kernel = rpc_kernel(transport)
         self.transactions = 0
         self.bounces = 0  # NOTHERE responses seen (for Fig. 8 analysis)
+        #: Every retried attempt (bounce, refusal, or reply timeout) —
+        #: the health monitor's per-client retry-rate signal.
+        self._c_retries = self.sim.obs.registry.counter(
+            str(transport.address), "rpc.retries"
+        )
 
     # -- public API -------------------------------------------------------
 
@@ -88,6 +93,7 @@ class RpcClient:
                 reply = yield self.sim.timeout(fut, timeout, f"rpc to {server}")
             except NotHereBounce as bounce:
                 self.bounces += 1
+                self._c_retries.inc()
                 self._kernel.drop_cached_server(port, bounce.server)
                 last_error = bounce
                 yield self.sim.sleep(self._backoff_ms(attempt))
@@ -96,11 +102,13 @@ class RpcClient:
                 # Connection refused (dead NIC): evict immediately so
                 # the next attempt goes to a live replica instead of
                 # burning a full reply timeout on the corpse.
+                self._c_retries.inc()
                 self._kernel.drop_cached_server(port, server)
                 last_error = refused
                 yield self.sim.sleep(self._backoff_ms(attempt))
                 continue
             except SimTimeout as timed_out:
+                self._c_retries.inc()
                 self._kernel.forget_transaction(txid)
                 self._kernel.drop_cached_server(port, server)
                 last_error = timed_out

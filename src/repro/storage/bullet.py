@@ -104,15 +104,16 @@ class BulletServer:
         while True:
             request, handle = yield self._rpc.getreq()
             op = request["op"]
+            lineage = request.get("lineage")
             try:
                 if op == "create":
-                    result = yield from self._create(request["data"], cpu)
+                    result = yield from self._create(request["data"], cpu, lineage)
                 elif op == "read":
-                    result = yield from self._read(request["cap"], cpu)
+                    result = yield from self._read(request["cap"], cpu, lineage)
                 elif op == "size":
                     result = yield from self._size(request["cap"], cpu)
                 elif op == "delete":
-                    result = yield from self._delete(request["cap"], cpu)
+                    result = yield from self._delete(request["cap"], cpu, lineage)
                 else:
                     raise NoSuchFile(f"unknown bullet op {op!r}")
             except Exception as exc:
@@ -123,7 +124,7 @@ class BulletServer:
     def _extent_key(self, obj: int) -> tuple:
         return ("bullet", self.instance, obj)
 
-    def _create(self, data: bytes, cpu):
+    def _create(self, data: bytes, cpu, lineage=None):
         start = self.sim.now
         yield from cpu.use(1.0)
         obj = self._next_object
@@ -132,9 +133,12 @@ class BulletServer:
         # Contiguous data write, then the inode commit — both
         # sequential thanks to Bullet's allocation strategy.
         yield from self.disk.write_extent(
-            self._extent_key(obj), (check, bytes(data)), len(data), kind="sequential"
+            self._extent_key(obj), (check, bytes(data)), len(data),
+            kind="sequential", lineage=lineage,
         )
-        yield from self.disk.write_block(0, b"", kind="sequential")  # inode log
+        yield from self.disk.write_block(
+            0, b"", kind="sequential", lineage=lineage
+        )  # inode log
         self._table[obj] = check
         if self.cache_files:
             self._cache[obj] = bytes(data)
@@ -142,7 +146,8 @@ class BulletServer:
         if self._obs.tracer.enabled:
             self._obs.tracer.emit(
                 f"bullet.{self.instance}", "bullet", "bullet.create",
-                ph="X", dur=self.sim.now - start, ts=start, bytes=len(data),
+                ph="X", dur=self.sim.now - start, ts=start,
+                lineage=lineage, bytes=len(data),
             )
         return owner_capability(self.port, obj, check)
 
@@ -158,7 +163,7 @@ class BulletServer:
             raise CapabilityError(f"{cap} lacks {required!r}")
         return cap.object_number
 
-    def _read(self, cap: Capability, cpu):
+    def _read(self, cap: Capability, cpu, lineage=None):
         obj = self._validated_object(cap, Rights.READ)
         yield from cpu.use(0.5)
         self._c_reads.inc()
@@ -167,7 +172,7 @@ class BulletServer:
             self._c_cache_hits.inc()
             return cached
         check_and_data = yield from self.disk.read_extent(
-            self._extent_key(obj), 1024, kind="random"
+            self._extent_key(obj), 1024, kind="random", lineage=lineage
         )
         data = check_and_data[1]
         if self.cache_files:
@@ -185,10 +190,10 @@ class BulletServer:
         )
         return len(check_and_data[1])
 
-    def _delete(self, cap: Capability, cpu):
+    def _delete(self, cap: Capability, cpu, lineage=None):
         obj = self._validated_object(cap, Rights.DESTROY)
         yield from cpu.use(0.5)
-        yield from self.disk.delete_extent(self._extent_key(obj))
+        yield from self.disk.delete_extent(self._extent_key(obj), lineage=lineage)
         self._table.pop(obj, None)
         self._cache.pop(obj, None)
         self._c_deletes.inc()
@@ -208,16 +213,24 @@ class BulletClient:
         self.rpc = rpc
         self.port = port
 
-    def create(self, data: bytes):
-        """Store an immutable file; returns its owner capability."""
+    def create(self, data: bytes, lineage=None):
+        """Store an immutable file; returns its owner capability.
+
+        *lineage* rides the request so the server stamps its disk
+        operations with the originating group message id.
+        """
         cap = yield from self.rpc.trans(
-            self.port, {"op": "create", "data": bytes(data)}, size=64 + len(data)
+            self.port,
+            {"op": "create", "data": bytes(data), "lineage": lineage},
+            size=64 + len(data),
         )
         return cap
 
-    def read(self, cap: Capability):
+    def read(self, cap: Capability, lineage=None):
         """Fetch a whole file by capability."""
-        data = yield from self.rpc.trans(self.port, {"op": "read", "cap": cap}, size=80)
+        data = yield from self.rpc.trans(
+            self.port, {"op": "read", "cap": cap, "lineage": lineage}, size=80
+        )
         return data
 
     def size(self, cap: Capability):
@@ -225,9 +238,9 @@ class BulletClient:
         result = yield from self.rpc.trans(self.port, {"op": "size", "cap": cap}, size=80)
         return result
 
-    def delete(self, cap: Capability):
+    def delete(self, cap: Capability, lineage=None):
         """Remove a file (requires DESTROY rights)."""
         result = yield from self.rpc.trans(
-            self.port, {"op": "delete", "cap": cap}, size=80
+            self.port, {"op": "delete", "cap": cap, "lineage": lineage}, size=80
         )
         return result

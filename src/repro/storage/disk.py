@@ -61,6 +61,9 @@ class Disk:
         self._c_busy = registry.counter(name, "disk.busy_ms")
         self._h_op_ms = registry.histogram(name, "disk.op_ms")
         self._h_queue_ms = registry.histogram(name, "disk.queue_ms")
+        #: Operations waiting for (or holding) the arm right now — the
+        #: health monitor's disk-congestion signal.
+        self._g_queue_depth = registry.gauge(name, "disk.queue_depth")
 
     # -- failure ---------------------------------------------------------
 
@@ -76,7 +79,7 @@ class Disk:
 
     # -- timing core --------------------------------------------------------
 
-    def _occupy(self, kind: str, size_bytes: int):
+    def _occupy(self, kind: str, size_bytes: int, lineage=None):
         """Hold the arm for one operation of *kind*; charge its time.
 
         Time spent waiting for the arm (another op in flight) is
@@ -84,40 +87,49 @@ class Disk:
         service, ``disk.queue_ms`` is the contention wait, and the
         trace event carries both so the queueing created by concurrent
         storage users is visible rather than silently folded into the
-        caller's apparent compute time.
+        caller's apparent compute time. *lineage* stamps the trace
+        event with the group message (or synthetic id) this operation
+        serves, so span stitching can split persist time into
+        queue-wait vs. service per operation.
         """
         self._check()
         queued_at = self.sim.now
-        yield self._arm.acquire()
-        queue_ms = self.sim.now - queued_at
+        self._g_queue_depth.add(1)
         try:
-            self._check()
-            if kind == "random":
-                delay = self.latency.random_ms(size_bytes)
-            elif kind == "sequential":
-                delay = self.latency.sequential_ms(size_bytes)
-            elif kind == "cached":
-                delay = self.latency.cached_ms(size_bytes)
-            elif kind == "batch":
-                delay = self.latency.batch_ms(size_bytes)
-            else:
-                raise StorageError(f"unknown disk access kind {kind!r}")
-            start = self.sim.now
-            if delay > 0:
-                yield self.sim.sleep(delay)
-            self.ops[kind] += 1
-            self._c_ops[kind].inc()
-            self._c_busy.inc(delay)
-            self._h_op_ms.observe(delay)
-            self._h_queue_ms.observe(queue_ms)
-            if self._obs.tracer.enabled:
-                self._obs.tracer.emit(
-                    self.name, "disk", f"disk.{kind}",
-                    ph="X", dur=delay, ts=start, bytes=size_bytes,
-                    queue=round(queue_ms, 6),
-                )
+            yield self._arm.acquire()
+            queue_ms = self.sim.now - queued_at
+            try:
+                self._check()
+                if kind == "random":
+                    delay = self.latency.random_ms(size_bytes)
+                elif kind == "sequential":
+                    delay = self.latency.sequential_ms(size_bytes)
+                elif kind == "cached":
+                    delay = self.latency.cached_ms(size_bytes)
+                elif kind == "batch":
+                    delay = self.latency.batch_ms(size_bytes)
+                else:
+                    raise StorageError(f"unknown disk access kind {kind!r}")
+                start = self.sim.now
+                if delay > 0:
+                    yield self.sim.sleep(delay)
+                self.ops[kind] += 1
+                self._c_ops[kind].inc()
+                self._c_busy.inc(delay)
+                self._h_op_ms.observe(delay)
+                self._h_queue_ms.observe(queue_ms)
+                if self._obs.tracer.enabled:
+                    self._obs.tracer.emit(
+                        self.name, "disk", f"disk.{kind}",
+                        ph="X", dur=delay, ts=start,
+                        lineage=lineage if lineage is not None else ("disk", self.name),
+                        bytes=size_bytes,
+                        queue=round(queue_ms, 6),
+                    )
+            finally:
+                self._arm.release()
         finally:
-            self._arm.release()
+            self._g_queue_depth.add(-1)
 
     @property
     def total_ops(self) -> int:
@@ -126,16 +138,16 @@ class Disk:
 
     # -- block store -----------------------------------------------------------
 
-    def write_block(self, index: int, data: bytes, kind: str = "random"):
+    def write_block(self, index: int, data: bytes, kind: str = "random", lineage=None):
         """Write one block synchronously (``yield from``)."""
         if not 0 <= index < self.block_count:
             raise StorageError(f"block {index} out of range on {self.name}")
         if len(data) > BLOCK_SIZE:
             raise StorageError(f"block write of {len(data)} bytes exceeds block size")
-        yield from self._occupy(kind, max(len(data), BLOCK_SIZE))
+        yield from self._occupy(kind, max(len(data), BLOCK_SIZE), lineage=lineage)
         self._blocks[index] = bytes(data)
 
-    def write_blocks(self, writes):
+    def write_blocks(self, writes, lineage=None):
         """Group-commit write of several blocks in one arm operation.
 
         *writes* is a list of ``(index, data)`` pairs. The whole batch
@@ -155,15 +167,15 @@ class Disk:
                     f"block write of {len(data)} bytes exceeds block size"
                 )
             total += max(len(data), BLOCK_SIZE)
-        yield from self._occupy("batch", total)
+        yield from self._occupy("batch", total, lineage=lineage)
         for index, data in writes:
             self._blocks[index] = bytes(data)
 
-    def read_block(self, index: int, kind: str = "random"):
+    def read_block(self, index: int, kind: str = "random", lineage=None):
         """Read one block synchronously; missing blocks read as empty."""
         if not 0 <= index < self.block_count:
             raise StorageError(f"block {index} out of range on {self.name}")
-        yield from self._occupy(kind, BLOCK_SIZE)
+        yield from self._occupy(kind, BLOCK_SIZE, lineage=lineage)
         return self._blocks.get(index, b"")
 
     def peek_block(self, index: int) -> bytes:
@@ -173,21 +185,24 @@ class Disk:
 
     # -- extent store ------------------------------------------------------------
 
-    def write_extent(self, key: Hashable, data: Any, size_bytes: int, kind: str = "sequential"):
+    def write_extent(
+        self, key: Hashable, data: Any, size_bytes: int,
+        kind: str = "sequential", lineage=None,
+    ):
         """Store a whole immutable extent under *key*."""
-        yield from self._occupy(kind, size_bytes)
+        yield from self._occupy(kind, size_bytes, lineage=lineage)
         self._extents[key] = data
 
-    def read_extent(self, key: Hashable, size_bytes: int, kind: str = "random"):
+    def read_extent(self, key: Hashable, size_bytes: int, kind: str = "random", lineage=None):
         """Fetch an extent; raises StorageError if absent."""
-        yield from self._occupy(kind, size_bytes)
+        yield from self._occupy(kind, size_bytes, lineage=lineage)
         if key not in self._extents:
             raise StorageError(f"no extent {key!r} on disk {self.name}")
         return self._extents[key]
 
-    def delete_extent(self, key: Hashable, kind: str = "cached"):
+    def delete_extent(self, key: Hashable, kind: str = "cached", lineage=None):
         """Drop an extent (free-list update; cheap by default)."""
-        yield from self._occupy(kind, BLOCK_SIZE)
+        yield from self._occupy(kind, BLOCK_SIZE, lineage=lineage)
         self._extents.pop(key, None)
 
     def has_extent(self, key: Hashable) -> bool:
@@ -229,20 +244,25 @@ class RawPartition:
             raise StorageError(f"block {index} out of partition {self.name}")
         return self.start + index
 
-    def write_block(self, index: int, data: bytes, kind: str = "random"):
+    def write_block(self, index: int, data: bytes, kind: str = "random", lineage=None):
         """Synchronous write of partition-relative block *index*."""
-        yield from self.disk.write_block(self._translate(index), data, kind)
+        yield from self.disk.write_block(
+            self._translate(index), data, kind, lineage=lineage
+        )
 
-    def write_blocks(self, writes):
+    def write_blocks(self, writes, lineage=None):
         """Group-commit write of partition-relative ``(index, data)``
         pairs in a single arm operation (see :meth:`Disk.write_blocks`)."""
         yield from self.disk.write_blocks(
-            [(self._translate(index), data) for index, data in writes]
+            [(self._translate(index), data) for index, data in writes],
+            lineage=lineage,
         )
 
-    def read_block(self, index: int, kind: str = "random"):
+    def read_block(self, index: int, kind: str = "random", lineage=None):
         """Synchronous read of partition-relative block *index*."""
-        data = yield from self.disk.read_block(self._translate(index), kind)
+        data = yield from self.disk.read_block(
+            self._translate(index), kind, lineage=lineage
+        )
         return data
 
     def peek_block(self, index: int) -> bytes:

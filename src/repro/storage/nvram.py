@@ -89,12 +89,13 @@ class Nvram:
 
     # -- logging -------------------------------------------------------------
 
-    def append(self, record: NvramRecord, charge_time: bool = True):
+    def append(self, record: NvramRecord, charge_time: bool = True, lineage=None):
         """Log one record (``yield from``); raises NvramFull when the
         board cannot hold it — the caller must flush first.
 
         Pass ``charge_time=False`` when the caller accounts for the
-        write time itself (e.g. as CPU-held programmed I/O).
+        write time itself (e.g. as CPU-held programmed I/O). *lineage*
+        stamps the trace event with the originating group message id.
         """
         needed = self.record_size(record)
         if needed > self.free_bytes:
@@ -114,6 +115,7 @@ class Nvram:
         if self._obs.tracer.enabled:
             self._obs.tracer.emit(
                 self.name, "nvram", "nvram.append",
+                lineage=lineage if lineage is not None else ("nvram", self.name),
                 op=record.op, bytes=needed, used=self._used,
             )
 
@@ -140,6 +142,7 @@ class Nvram:
             if self._obs.tracer.enabled:
                 self._obs.tracer.emit(
                     self.name, "nvram", "nvram.annihilate",
+                    lineage=("nvram", self.name),
                     records=len(removed), used=self._used,
                 )
         return removed

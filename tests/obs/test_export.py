@@ -89,6 +89,68 @@ class TestTextAndFiles:
             raise AssertionError("expected ValueError")
 
 
+class TestChromeTraceSchema:
+    """Schema validity on a real traced run, span tracks included."""
+
+    REQUIRED_KEYS = {"name", "ph", "pid", "tid"}
+
+    def document(self):
+        from repro.obs import breakdown
+        from repro.obs.spans import span_track_events, stitch
+
+        run = breakdown.record_update_trace("update", iterations=3, seed=0)
+        spans = stitch(run.events, run.windows)
+        return to_chrome_trace(run.events + span_track_events(spans))
+
+    def test_valid_json_with_required_keys(self):
+        doc = self.document()
+        parsed = json.loads(json.dumps(doc))
+        assert parsed["traceEvents"], "expected a non-empty trace"
+        for e in parsed["traceEvents"]:
+            assert self.REQUIRED_KEYS <= set(e), e
+            assert e["ph"] in {"M", "X", "i"}, e
+            if e["ph"] != "M":  # metadata rows are timeless
+                assert "ts" in e and e["ts"] >= 0.0
+            if e["ph"] == "X":
+                assert "dur" in e and e["dur"] >= 0.0
+            if e["ph"] == "i":
+                assert e["s"] == "t"  # thread-scoped instant
+
+    def test_timestamps_monotone_per_track(self):
+        doc = self.document()
+        last: dict = {}
+        for e in doc["traceEvents"]:
+            if e["ph"] == "M":
+                continue
+            key = (e["pid"], e["tid"])
+            assert e["ts"] >= last.get(key, float("-inf")), key
+            last[key] = e["ts"]
+        assert last, "expected at least one event track"
+
+    def test_span_tracks_present_one_per_operation(self):
+        doc = self.document()
+        profile_pid = {
+            e["pid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M"
+            and e["name"] == "process_name"
+            and e["args"]["name"] == "profile"
+        }
+        assert len(profile_pid) == 1
+        pid = profile_pid.pop()
+        tracks = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M"
+            and e["name"] == "thread_name"
+            and e["pid"] == pid
+        }
+        # 3 iterations of the update scenario = 3 append + 3 delete ops.
+        assert tracks == {
+            f"{op} #{pair}" for op in ("append", "delete") for pair in range(3)
+        }
+
+
 class TestEndToEndDeterminism:
     def test_same_seed_same_bytes(self):
         """Two identical cluster runs serialize to identical JSONL."""

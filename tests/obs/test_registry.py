@@ -55,6 +55,37 @@ class TestGauge:
         # area = 1*2 + 3*1 = 5 over 3 ms
         assert math.isclose(gauge.time_weighted_mean(), 5.0 / 3.0)
 
+    def test_area_extends_to_the_read_time(self):
+        """Reading the integral must charge the current level up to
+        *now*, not stop at the last ``set`` — a gauge set once at t=10
+        and read at t=100 held its level for the whole [10, 100]."""
+        holder = {"now": 10.0}
+        registry = MetricsRegistry(clock=make_clock(holder))
+        gauge = registry.gauge("n0", "depth")
+        gauge.set(4.0)
+        holder["now"] = 100.0
+        assert math.isclose(gauge.area(), 4.0 * 90.0)
+        assert math.isclose(gauge.time_weighted_mean(), 4.0)
+        # Reading is idempotent: it must not double-charge the window.
+        assert math.isclose(gauge.area(), 4.0 * 90.0)
+        holder["now"] = 110.0
+        assert math.isclose(gauge.area(), 4.0 * 100.0)
+
+    def test_area_differencing_gives_window_means(self):
+        """The health monitor's sampling primitive: the mean over a
+        window is (area(b) - area(a)) / (b - a)."""
+        holder = {"now": 0.0}
+        registry = MetricsRegistry(clock=make_clock(holder))
+        gauge = registry.gauge("n0", "depth")
+        mark = gauge.area()
+        holder["now"] = 100.0
+        gauge.set(10.0)  # spike...
+        holder["now"] = 200.0
+        gauge.set(0.0)  # ...drained mid-window
+        holder["now"] = 500.0
+        window_mean = (gauge.area() - mark) / 500.0
+        assert math.isclose(window_mean, 10.0 * 100.0 / 500.0)
+
 
 class TestHistogram:
     def test_summary_shape(self):
