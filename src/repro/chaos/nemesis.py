@@ -192,6 +192,58 @@ def random_soak(cluster, rng, start_ms, window_ms) -> FaultPlan:
     )
 
 
+@nemesis("rolling_faults")
+def rolling_faults(cluster, rng, start_ms, window_ms) -> FaultPlan:
+    """The self-driving gauntlet: three sequenced faults, no repairs.
+
+    Phase timing is fractional in *window_ms* so smoke-scaled windows
+    keep the same shape. In order:
+
+    1. one replica crashes and is deliberately left down;
+    2. a different replica's inbound group traffic turns persistently
+       lossy (90%), then the link recovers;
+    3. sustained low-grade multicast loss (12%) hits all group
+       traffic, then lifts.
+
+    Unlike every other nemesis this plan does NOT repair the world:
+    remediation (:mod:`repro.recovery`) is expected to restart the
+    corpse, evict the flapper onto a spare, and scale the resilience
+    degree up and back. Without it the cluster ends the run below its
+    declared resilience — the ``remediation_off`` control proves
+    ``check_resilience_restored`` isn't vacuous.
+    """
+    from repro.net.policy import Drop, LinkFilter
+
+    plan = FaultPlan()
+    n = len(cluster.sites)
+    addresses = [site.dir_address for site in cluster.sites]
+
+    # Phase 1: crash, no scheduled restart (remediation's job).
+    crash_victim = rng.randrange(n)
+    crash_at = start_ms + window_ms * 0.04 + rng.uniform(0.0, window_ms * 0.03)
+    plan.crash(crash_at, crash_victim)
+
+    # Phase 2: a different member behind a persistently lossy link.
+    flap_victim = (crash_victim + 1 + rng.randrange(n - 1)) % n
+    lossy = Drop(
+        "rolling.lossy",
+        LinkFilter(dst=addresses[flap_victim], kind="grp.*"),
+        probability=0.9,
+    )
+    plan.install_policy(start_ms + window_ms * 0.30, lossy)
+    plan.remove_policy(start_ms + window_ms * 0.55, lossy)
+
+    # Phase 3: sustained multicast loss over the whole group.
+    broad = Drop(
+        "rolling.loss",
+        LinkFilter(kind="grp.*", multicast=True),
+        probability=0.12,
+    )
+    plan.install_policy(start_ms + window_ms * 0.62, broad)
+    plan.remove_policy(start_ms + window_ms * 0.85, broad)
+    return plan
+
+
 @nemesis("majority_lost")
 def majority_lost(cluster, rng, start_ms, window_ms) -> FaultPlan:
     """UNRECOVERABLE on purpose: crash a majority and leave it down.

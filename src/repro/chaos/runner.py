@@ -37,7 +37,7 @@ from repro.errors import DirectoryError, ReproError, SimulationError
 from repro.faults.plan import FaultPlan
 from repro.net.policy import Drop, Duplicate, Delay, LinkFilter, Reorder
 from repro.obs.export import to_jsonl
-from repro.obs.monitor import HealthMonitor
+from repro.obs.monitor import HealthMonitor, thresholds_with
 from repro.rpc.client import RpcTimings
 from repro.verify import HistoryRecorder, InvariantReport, check_cluster
 
@@ -91,6 +91,21 @@ class Scenario:
     #: of the settle tail. False: the monitor must stay silent for the
     #: whole run (fault-free controls). None: record, don't assert.
     expect_alerts: bool | None = None
+    #: Initial resilience degree (None = n_servers - 1, the maximum).
+    resilience: int | None = None
+    #: Cold spare sites available to remediation (group clusters only).
+    spares: int = 0
+    #: Run a RemediationController (repro.recovery) against the
+    #: health monitor for the whole scenario.
+    remediation: bool = False
+    #: Assert check_resilience_restored at the end of the run: the
+    #: cluster must be back at its declared server count and
+    #: resilience degree with every operational member agreeing.
+    expect_resilience_restored: bool = False
+    #: Health-monitor overrides: a thresholds tuple (see
+    #: repro.obs.thresholds_with) and/or a sampling cadence.
+    monitor_thresholds: tuple | None = None
+    monitor_interval_ms: float | None = None
 
 
 @dataclass
@@ -124,6 +139,9 @@ class ScenarioVerdict:
     active_alerts: list = field(default_factory=list)
     alerts_in_fault_window: int = 0
     monitor_ticks: int = 0
+    #: Remediation audit trail (repro.recovery), when the scenario ran
+    #: a controller: one dict per action, in execution order.
+    remediation_actions: list = field(default_factory=list)
 
     def as_dict(self) -> dict:
         """JSON-serializable form (``python -m repro chaos --json``)."""
@@ -153,6 +171,7 @@ class ScenarioVerdict:
                 "active_at_end": [a.as_dict() for a in self.active_alerts],
                 "alerts_in_fault_window": self.alerts_in_fault_window,
             },
+            "remediation_actions": _plain(self.remediation_actions),
         }
         if self.report is not None:
             out["invariants"] = {
@@ -167,6 +186,7 @@ class ScenarioVerdict:
                     self.report.linearizability_violations
                 ),
                 "duplicate_applies": list(self.report.duplicate_applies),
+                "resilience_problems": list(self.report.resilience_problems),
             }
         return out
 
@@ -408,6 +428,41 @@ SCENARIOS: list[Scenario] = [
         in_rotation=False,
     ),
     Scenario(
+        "rolling_faults",
+        "self-driving gauntlet: crash left down, flapping link, "
+        "sustained loss — remediation must restore declared resilience",
+        _nemesis_builder("rolling_faults"),
+        retry_safe=True,
+        shared_keys=True,
+        n_clients=3,
+        window_ms=35_000.0,
+        resilience=1,
+        spares=1,
+        remediation=True,
+        expect_resilience_restored=True,
+        flight_recorder_capacity=65_536,
+        expect_alerts=True,
+        # A lower retransmission trip point makes the scale-up policy
+        # engage reliably under the 12% sustained-loss phase.
+        monitor_thresholds=thresholds_with({"group.retrans_rate": (2.0, 0.5)}),
+    ),
+    Scenario(
+        "remediation_off",
+        "NEGATIVE: the same gauntlet with the controller disabled — "
+        "check_resilience_restored must flag the crippled cluster",
+        _nemesis_builder("rolling_faults"),
+        retry_safe=True,
+        shared_keys=True,
+        n_clients=3,
+        window_ms=35_000.0,
+        resilience=1,
+        spares=0,
+        remediation=False,
+        expect_resilience_restored=True,
+        flight_recorder_capacity=65_536,
+        in_rotation=False,
+    ),
+    Scenario(
         "majority_lost",
         "NEGATIVE: crash a majority and leave it down — the correct "
         "outcome is detected unavailability, not stale answers",
@@ -443,17 +498,26 @@ def _build_cluster(scenario: Scenario, seed: int):
         return RpcServiceCluster(name=f"chaos{seed}", seed=seed)
     from repro.cluster import GroupServiceCluster
 
+    resilience = (
+        scenario.resilience
+        if scenario.resilience is not None
+        else scenario.n_servers - 1
+    )
     return GroupServiceCluster(
         name=f"chaos{seed}",
         seed=seed,
         n_servers=scenario.n_servers,
-        resilience=scenario.n_servers - 1,
+        resilience=resilience,
+        spares=scenario.spares,
         dedup_enabled=scenario.dedup,
     )
 
 
 def _majority(cluster) -> int:
-    return len(cluster.servers) // 2 + 1
+    # Via the config, not len(cluster.servers): elastic scenarios leave
+    # evicted sites behind as None entries, and the config tracks the
+    # membership changes remediation makes mid-run.
+    return cluster.config.majority
 
 
 def run_scenario(
@@ -501,7 +565,17 @@ def _run(
     sim = cluster.sim
     # The watchdog starts with the cluster healthy: its baseline
     # window is fault-free, so anything it raises later is signal.
-    monitor = HealthMonitor(sim).start()
+    monitor_kwargs: dict = {}
+    if scenario.monitor_thresholds is not None:
+        monitor_kwargs["thresholds"] = scenario.monitor_thresholds
+    if scenario.monitor_interval_ms is not None:
+        monitor_kwargs["interval_ms"] = scenario.monitor_interval_ms
+    monitor = HealthMonitor(sim, **monitor_kwargs).start()
+    controller = None
+    if scenario.remediation:
+        from repro.recovery import RemediationController
+
+        controller = RemediationController(cluster, monitor).start()
     root = cluster.root_capability
     history = HistoryRecorder()
     start = sim.now
@@ -667,6 +741,7 @@ def _run(
         final_names if available else None,
         private_keys=not scenario.shared_keys,
         trace_events=cluster.obs.tracer.events(),
+        check_resilience=scenario.expect_resilience_restored,
     )
     problems.extend(report.problems())
 
@@ -747,6 +822,9 @@ def _run(
         active_alerts=list(monitor.active_alerts),
         alerts_in_fault_window=len(alerts_in_window),
         monitor_ticks=monitor.ticks,
+        remediation_actions=(
+            [dict(a) for a in controller.actions] if controller else []
+        ),
     )
 
 

@@ -218,6 +218,9 @@ class BaseCluster:
                 for s in servers
                 if s is not None
             ]
+        view_history = getattr(self, "view_history", None)
+        if view_history is not None:
+            out["view_changes"] = view_history()
         out["metrics"] = self.obs.registry.snapshot()
         return out
 
@@ -263,6 +266,7 @@ class GroupServiceCluster(BaseCluster):
         network: Network | None = None,
         loss_probability: float = 0.0,
         link_policies=None,
+        spares: int = 0,
         **config_overrides,
     ):
         super().__init__(
@@ -276,6 +280,17 @@ class GroupServiceCluster(BaseCluster):
                 **config_overrides,
             )
         self.config = config
+        #: Pre-built standby sites: full machine + disk, attached to
+        #: the network but NOT in the server set until activated by
+        #: :meth:`add_server` (or the remediation controller).
+        self.spare_sites = [Site(self, n_servers + i) for i in range(spares)]
+        #: The cluster's *declared* shape — what
+        #: :func:`repro.verify.check_resilience_restored` holds the
+        #: end state to, whatever faults and remediations happened.
+        self.declared_n_servers = self.config.n_servers
+        self.declared_resilience = self.config.resilience
+        self._evicted_addresses: list = []
+        self._view_log_archive: list[dict] = []
         for site in self.sites:
             site.server = self._make_server(site)
 
@@ -344,10 +359,130 @@ class GroupServiceCluster(BaseCluster):
     def restart_server(self, index: int) -> GroupDirectoryServer:
         """Reboot directory server *index*; it re-runs recovery."""
         site = self.sites[index]
+        self._archive_view_log(site)
         site.dir_transport.restart()
         site.server = self._make_server(site)
         site.server.start()
         return site.server
+
+    # -- elastic membership ----------------------------------------------------
+
+    def site_of(self, address) -> Site | None:
+        """The site (active or spare) whose directory server owns *address*."""
+        for site in [*self.sites, *self.spare_sites]:
+            if site.dir_address == address:
+                return site
+        return None
+
+    def has_spare(self) -> bool:
+        return bool(self.spare_sites)
+
+    def add_server(self) -> GroupDirectoryServer:
+        """Online replica add: boot the next spare as a full replica.
+
+        The spare's address joins the configured server set, its blank
+        disk sends it down the Fig. 6 recovery path — state-transfer a
+        snapshot from the freshest incumbent, replay the ordered log
+        above it, then ``start_join`` the live group — and every live
+        replica rewrites its commit block against the new server set.
+        Builds a brand-new site when the spare pool is empty.
+        """
+        if self.spare_sites:
+            site = self.spare_sites.pop(0)
+        else:
+            used = [s.index for s in (*self.sites, *self.spare_sites)] or [-1]
+            site = Site(self, max(used) + 1)
+        self.config.server_addresses = (
+            *self.config.server_addresses,
+            site.dir_address,
+        )
+        self.sites.append(site)
+        site.server = self._make_server(site)
+        site.server.start()
+        self._refresh_config_vectors()
+        return site.server
+
+    def evict_server(self, index: int) -> None:
+        """Online replica evict: decommission replica *index*.
+
+        The replica's machine is fail-stopped, the current sequencer
+        excludes its address from the view (coordinator-driven leave),
+        and the address leaves the configured server set — so majority
+        and the configuration vector are computed over the members
+        that remain. The site object stays in ``sites`` with
+        ``server = None``, keeping server indexes stable.
+        """
+        site = self.sites[index]
+        address = site.dir_address
+        if site.server is not None:
+            self._archive_view_log(site)
+            site.crash_directory_server()
+            site.server = None
+        for other in self.sites:
+            server = other.server
+            if server is None or not server.alive:
+                continue
+            if server.member.is_sequencer:
+                server.member.kernel.evict_member(address)
+                break
+        self.config.server_addresses = tuple(
+            a for a in self.config.server_addresses if a != address
+        )
+        self._evicted_addresses.append(address)
+        self._refresh_config_vectors()
+
+    def change_resilience(self, resilience: int, declared: bool = True):
+        """Runtime resilience change via an operational replica
+        (``yield from`` inside a sim process). Returns the seqno of
+        the ordered marker. With *declared* (operator intent, the
+        default) the new degree also becomes the one
+        ``check_resilience_restored`` holds the cluster to; the
+        remediation controller's temporary scale-ups pass False.
+        """
+        for server in self.operational_servers():
+            seqno = yield from server.change_resilience(resilience)
+            if declared:
+                self.declared_resilience = resilience
+            return seqno
+        raise SimulationError("no operational replica to change resilience")
+
+    def _refresh_config_vectors(self) -> None:
+        """Have every live replica rewrite its commit block against
+        the current server set (positional configuration vectors go
+        stale when the address tuple changes shape)."""
+        for site in self.sites:
+            server = site.server
+            if server is not None and server.alive and server.operational:
+                self.sim.spawn(
+                    server.refresh_config_vector(),
+                    f"dir.{site.index}.reconfig",
+                )
+
+    def _archive_view_log(self, site: Site) -> None:
+        """Preserve a to-be-replaced kernel's membership history."""
+        server = site.server
+        if server is None:
+            return
+        self._view_log_archive.extend(
+            {"node": str(site.dir_address), **entry}
+            for entry in server.member.kernel.view_log
+        )
+
+    def view_history(self) -> list[dict]:
+        """Every view change any replica adopted — epoch, members,
+        sequencer, resilience, trigger — across restarts and
+        evictions, deterministically ordered."""
+        entries = list(self._view_log_archive)
+        for site in [*self.sites, *self.spare_sites]:
+            server = site.server
+            if server is None:
+                continue
+            entries.extend(
+                {"node": str(site.dir_address), **entry}
+                for entry in server.member.kernel.view_log
+            )
+        entries.sort(key=lambda e: (e["at_ms"], e["node"], e["epoch"]))
+        return entries
 
     def partition_network(self, *groups) -> None:
         """Split the network; each group lists *server indexes*. The

@@ -35,6 +35,7 @@ from repro.errors import (
     GroupResetFailed,
     LocateError,
     RpcError,
+    ServiceDown,
 )
 from repro.group.kernel import STATE_IDLE, STATE_MEMBER
 
@@ -80,6 +81,7 @@ def run_recovery(server):
 
     rounds = 0
     used_improved_rule = False
+    joined_fresh = False
     while timings.max_rounds is None or rounds < timings.max_rounds:
         rounds += 1
 
@@ -88,6 +90,11 @@ def run_recovery(server):
         member = server.member
         if member.kernel.state != STATE_MEMBER:
             member.kernel.state = STATE_IDLE
+            # A join (unlike a reset) truncates kernel history to the
+            # sequencer's floor and re-bases our delivery horizon; if
+            # we carried applied state in, its continuity with what the
+            # group will deliver next is now suspect (phase 4 cares).
+            joined_fresh = True
             try:
                 yield from member.join()
             except GroupFailure:
@@ -118,6 +125,7 @@ def run_recovery(server):
         mourned = set(server.mourned_set())
         newgroup = {server.me}
         seqnos = {server.me: my_seqno}
+        operational_peers = set()
         peers = [
             a
             for a in member.info().view
@@ -126,7 +134,7 @@ def run_recovery(server):
         for peer in peers:
             try:
                 reply = yield from server.rpc_client.trans(
-                    cfg.recovery_port(cfg.index_of(peer)),
+                    cfg.recovery_port_of(peer),
                     {"op": "exchange"},
                     reply_timeout_ms=timings.exchange_timeout_ms,
                 )
@@ -135,6 +143,8 @@ def run_recovery(server):
             newgroup.add(peer)
             seqnos[peer] = reply["seqno"]
             mourned |= set(reply["mourned"])
+            if reply.get("operational"):
+                operational_peers.add(peer)
         last_set = set(cfg.server_addresses) - mourned
         proceed = last_set <= newgroup
         if override:
@@ -157,6 +167,41 @@ def run_recovery(server):
 
         # -- Phase 4: state transfer from the freshest member -----------
         donor = max(seqnos, key=lambda a: (seqnos[a], str(a)))
+        info = member.info()
+        # A fresh join re-bases our delivery horizon at the
+        # sequencer's floor: joining at a non-genesis base leaves a
+        # *blind span* of the group's history this kernel will never
+        # see delivered. Likewise, state applied before the join may
+        # belong to a stream the rejoined kernel no longer vouches
+        # for (after a group re-formation the numbers can even line
+        # up while naming different records). Either way, neither our
+        # own image nor a recovering peer's can certify the current
+        # stream — only an operational member can: it is applying the
+        # live instance, and get_state makes it wait until it has
+        # applied our committed horizon, so redirecting to it cannot
+        # lose updates.
+        blind_join = joined_fresh and info.taken > -1
+        stream_suspect = server._state_loaded and (
+            joined_fresh or info.taken > server._applied_kernel
+        )
+        if blind_join or stream_suspect:
+            candidates = operational_peers & set(seqnos)
+            if candidates:
+                if donor not in candidates:
+                    donor = max(candidates, key=lambda a: (seqnos[a], str(a)))
+            elif blind_join or info.taken > server._applied_kernel:
+                # Records exist that nobody reachable can vouch for:
+                # back off and retry until a member that holds them
+                # finishes its own recovery and turns operational.
+                yield sim.sleep(
+                    rng.uniform(timings.backoff_min_ms, timings.backoff_max_ms)
+                )
+                continue
+            # else: fresh join at the group's genesis with no
+            # operational member anywhere — the whole group is
+            # re-forming and redelivery from the base covers the
+            # stream; proceed from the freshest image (the paper's
+            # re-formation case: state comes from the best disk).
         trace_phase("transfer", donor=str(donor),
                     improved_rule=used_improved_rule)
         transferred = 0
@@ -167,11 +212,14 @@ def run_recovery(server):
         else:
             try:
                 reply = yield from server.rpc_client.trans(
-                    cfg.recovery_port(cfg.index_of(donor)),
+                    cfg.recovery_port_of(donor),
                     {"op": "get_state", "min_kernel": member.info().committed},
                     reply_timeout_ms=timings.transfer_timeout_ms,
                 )
-            except (RpcError, LocateError):
+            except (RpcError, LocateError, ServiceDown):
+                # ServiceDown: the donor's own group failed while it
+                # served the transfer — retry the round like any other
+                # transfer failure.
                 yield sim.sleep(
                     rng.uniform(timings.backoff_min_ms, timings.backoff_max_ms)
                 )
@@ -185,8 +233,15 @@ def run_recovery(server):
                 transferred = yield from _install_snapshot(server, reply)
             finally:
                 server._installing = False
-            applied_kernel = max(applied_kernel, reply["applied_kernel"])
-            member.kernel.taken = max(member.kernel.taken, applied_kernel)
+            if reply.get("operational"):
+                # The donor applied the live instance's stream, so its
+                # horizon is in our numbering: fast-forward past the
+                # history its snapshot already covers.
+                applied_kernel = max(applied_kernel, reply["applied_kernel"])
+                member.kernel.taken = max(member.kernel.taken, applied_kernel)
+            # A recovering donor's horizon may refer to an earlier
+            # instance; leave our delivery base alone and let
+            # redelivery (session-deduplicated) close the overlap.
 
         # -- Seal: final commit block, back to normal operation ---------
         yield from server.admin.write_commit_block(

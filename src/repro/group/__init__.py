@@ -27,8 +27,14 @@ arbitrated), or runs its own recovery if the reset cannot reach the
 quorum it needs.
 """
 
-from repro.group.kernel import GroupKernel
+from repro.group.kernel import GroupKernel, ResilienceChange
 from repro.group.member import GroupInfo, GroupMember
 from repro.group.timings import GroupTimings
 
-__all__ = ["GroupInfo", "GroupKernel", "GroupMember", "GroupTimings"]
+__all__ = [
+    "GroupInfo",
+    "GroupKernel",
+    "GroupMember",
+    "GroupTimings",
+    "ResilienceChange",
+]

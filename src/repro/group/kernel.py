@@ -58,6 +58,19 @@ class BcRecord:
     size: int
 
 
+@dataclass(frozen=True)
+class ResilienceChange:
+    """Ordered control marker that changes the resilience degree.
+
+    Sequenced like any message, so every member adopts the new degree
+    at the marker's own sequence number: no member applies a later
+    message under the old degree, and a joiner or reset survivor that
+    replays the stream re-adopts it at exactly the same point.
+    """
+
+    resilience: int
+
+
 @dataclass
 class PendingSend:
     """Sender-side bookkeeping for one SendToGroup in flight."""
@@ -98,6 +111,12 @@ class GroupKernel:
         self._c_views = registry.counter(node, "group.views_adopted")
         self._c_resets = registry.counter(node, "group.resets_led")
         self._c_delivered = registry.counter(node, "group.delivered")
+        # Elastic-membership operations (runtime adds/evicts/retunes).
+        self._c_joins_admitted = registry.counter(node, "membership.joins_admitted")
+        self._c_evictions = registry.counter(node, "membership.evictions")
+        self._c_resilience_changes = registry.counter(
+            node, "membership.resilience_changes"
+        )
         #: Sequenced-but-undelivered depth (received - taken): how far
         #: the application lags the stream this member holds. The
         #: health monitor watches this for sequencer/apply backlog.
@@ -114,6 +133,10 @@ class GroupKernel:
         self.sequencer = None
         self.resilience = 0
         self.failure_reason = ""
+        #: Every view this kernel adopted or announced (epoch, members,
+        #: resilience, trigger) — cluster.report() aggregates these so
+        #: post-run analysis can reconstruct membership over time.
+        self.view_log: list[dict] = []
 
         # Message stream.
         self.history: dict[int, BcRecord] = {}
@@ -238,6 +261,7 @@ class GroupKernel:
         self.ack_progress = {}
         self.last_echo = {}
         self._promise = (self.incarnation, "")
+        self._log_view("create")
         self._start_ticker()
         self.wakeup.notify_all()
 
@@ -257,6 +281,42 @@ class GroupKernel:
             self._sequencer_remove_member(self.me, graceful=True)
         else:
             self._send(self.sequencer, "leave", {**self._stamp(), "member": self.me})
+
+    def evict_member(self, member) -> bool:
+        """Coordinator-driven eviction (sequencer only).
+
+        Excludes a dead or flapping *member* from the view without
+        failing the whole group: the remaining members adopt the
+        shrunk view, and a live evictee that still sees the
+        announcement self-fails ("excluded from view"). Returns True
+        when the view change was announced.
+        """
+        if self.state != STATE_MEMBER or self.me != self.sequencer:
+            return False
+        if member == self.me or member not in self.view:
+            return False
+        self._c_evictions.inc()
+        if self._obs.tracer.enabled:
+            self._obs.tracer.emit(
+                str(self.me), "group", "grp.evict",
+                lineage=("life", str(self.me)), member=str(member),
+            )
+        self._sequencer_remove_member(member, graceful=False)
+        return True
+
+    def _log_view(self, trigger: str, view=None, sequencer=None) -> None:
+        """Append one membership-history entry for the current view."""
+        members = self.view if view is None else view
+        self.view_log.append(
+            {
+                "at_ms": self.sim.now,
+                "epoch": self.incarnation,
+                "members": tuple(str(m) for m in sorted(members, key=str)),
+                "sequencer": str(sequencer if sequencer is not None else self.sequencer),
+                "resilience": self.resilience,
+                "trigger": trigger,
+            }
+        )
 
     # ------------------------------------------------------------------
     # sending
@@ -367,6 +427,7 @@ class GroupKernel:
         if self.received == seqno - 1:
             self.received = seqno
             self._update_backlog()
+            self._note_received(record)
         if self._required_acks() == 0 and self.received > self.committed:
             # With r = 0 (or a single-member view) the commit horizon
             # rides on the multicast itself: no separate commit packet.
@@ -487,9 +548,39 @@ class GroupKernel:
     def _advance_received(self) -> None:
         while (self.received + 1) in self.history:
             self.received += 1
+            self._note_received(self.history[self.received])
         self._update_backlog()
         if self.received >= self.committed:
             self._retrans_requested_at = None
+
+    def _note_received(self, record: BcRecord) -> None:
+        """Inspect a record the moment it becomes contiguously held.
+
+        Resilience markers take effect *here*, not at delivery: the
+        commit rule for everything at and above the marker must use
+        the new degree, and every path that advances the contiguous
+        horizon (live multicast, retransmission, view tails, reset
+        vote merges) funnels through this hook, so adoption lands at
+        the same seqno on every member however the record arrived.
+        """
+        if isinstance(record.payload, ResilienceChange):
+            self._adopt_resilience(record.payload.resilience, record.seqno)
+
+    def _adopt_resilience(self, resilience: int, seqno: int) -> None:
+        if resilience == self.resilience:
+            return
+        self.resilience = resilience
+        self._c_resilience_changes.inc()
+        self._log_view("resilience")
+        if self._obs.tracer.enabled:
+            self._obs.tracer.emit(
+                str(self.me), "group", "grp.resilience",
+                lineage=("life", str(self.me)),
+                resilience=resilience, seqno=seqno,
+            )
+        if self.me == self.sequencer and self.state == STATE_MEMBER:
+            # A lower degree may unblock the commit horizon immediately.
+            self._advance_commit()
 
     def _note_commit(self, committed: int) -> None:
         if committed > self.committed:
@@ -704,7 +795,9 @@ class GroupKernel:
         self.view = sorted([*self.view, joiner], key=str)
         self.last_echo[joiner] = self.sim.now
         self.ack_progress.setdefault(joiner, self.committed)
+        self._c_joins_admitted.inc()
         self._announce_view(joiner=joiner, joiner_base=self.committed)
+        self._log_view("join")
         self.wakeup.notify_all()
 
     def _sequencer_remove_member(self, member, graceful: bool) -> None:
@@ -728,12 +821,14 @@ class GroupKernel:
                 next_assign=self.next_assign,
             )
             self.state = STATE_IDLE
+            self._log_view("handover", view=new_view, sequencer=new_sequencer)
             self.wakeup.notify_all()
         else:
             self.view = new_view
             self.ack_progress.pop(member, None)
             self.last_echo.pop(member, None)
             self._announce_view(left=member)
+            self._log_view("leave" if graceful else "evict")
             self._advance_commit()
             self.wakeup.notify_all()
 
@@ -842,6 +937,7 @@ class GroupKernel:
         self._note_heartbeat()
         self._promise = (self.incarnation, "")
         self._c_views.inc()
+        self._log_view("join" if joining else "adopt")
         if self._obs.tracer.enabled:
             self._obs.tracer.emit(
                 str(self.me), "group", "grp.view",
@@ -996,6 +1092,7 @@ class GroupKernel:
         self._promise = (self.incarnation, "")
         self._note_heartbeat()
         self._c_resets.inc()
+        self._log_view("reset")
         if self._obs.tracer.enabled:
             self._obs.tracer.emit(
                 str(self.me), "group", "grp.reset",

@@ -28,11 +28,13 @@ from typing import Any
 
 from repro.errors import GroupFailure, GroupResetFailed, TimeoutError as SimTimeout
 from repro.group.kernel import (
+    CONTROL_SIZE,
     STATE_FAILED,
     STATE_IDLE,
     STATE_MEMBER,
     BcRecord,
     GroupKernel,
+    ResilienceChange,
 )
 from repro.group.timings import GroupTimings
 from repro.rpc.transport import Transport
@@ -145,6 +147,19 @@ class GroupMember:
             lambda: self.kernel.state != STATE_MEMBER
         )
         self.kernel.state = STATE_IDLE
+
+    def set_resilience(self, resilience: int):
+        """Change the group's resilience degree at runtime.
+
+        The change is an *ordered group operation*: it is sequenced
+        like any message, and every member adopts the new degree at
+        the same sequence number. Returns that seqno once the marker
+        itself is safe (committed under the new degree).
+        """
+        seqno = yield self.kernel.submit(
+            ResilienceChange(resilience), CONTROL_SIZE
+        )
+        return seqno
 
     # -- messaging ----------------------------------------------------------------
 

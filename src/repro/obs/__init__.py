@@ -35,6 +35,7 @@ from repro.obs.monitor import (
     Alert,
     HealthMonitor,
     Threshold,
+    thresholds_with,
 )
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import Observability, TraceEvent, TraceRecorder
@@ -51,6 +52,7 @@ __all__ = [
     "Threshold",
     "TraceEvent",
     "TraceRecorder",
+    "thresholds_with",
     "to_chrome_trace",
     "to_jsonl",
     "to_text",

@@ -43,6 +43,7 @@ must stay silent end to end.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 #: Default sampling cadence: four ticks per heartbeat-failure window,
@@ -102,6 +103,37 @@ DEFAULT_THRESHOLDS = (
 )
 
 
+def thresholds_with(overrides: dict) -> tuple:
+    """:data:`DEFAULT_THRESHOLDS` with per-signal replacements.
+
+    *overrides* maps a signal name to either a full :class:`Threshold`
+    or an ``(alert_above, clear_below)`` pair that keeps the default's
+    unit and description. This is the hook chaos scenarios and
+    remediation policies use to tune hysteresis without editing this
+    module. Unknown signal names raise (a typo would silently leave
+    the default in force).
+    """
+    known = {t.signal for t in DEFAULT_THRESHOLDS}
+    unknown = sorted(set(overrides) - known)
+    if unknown:
+        raise ValueError(f"unknown health signals: {unknown}")
+    out = []
+    for default in DEFAULT_THRESHOLDS:
+        override = overrides.get(default.signal)
+        if override is None:
+            out.append(default)
+        elif isinstance(override, Threshold):
+            out.append(override)
+        else:
+            alert_above, clear_below = override
+            out.append(
+                dataclasses.replace(
+                    default, alert_above=alert_above, clear_below=clear_below
+                )
+            )
+    return tuple(out)
+
+
 @dataclass(frozen=True)
 class Alert:
     """One raised (or cleared) alert instance."""
@@ -146,6 +178,8 @@ class HealthMonitor:
         self._counter_marks: dict = {}  # (node, metric) -> last value
         self._last_tick: float | None = None
         self._process = None
+        self._listeners: list = []
+        self._retired: set = set()  # nodes evicted from the cluster
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -228,7 +262,7 @@ class HealthMonitor:
 
     def _update(self, now: float, node: str, signal: str, value: float) -> None:
         threshold = self.thresholds.get(signal)
-        if threshold is None:
+        if threshold is None or node in self._retired:
             return
         key = (node, signal)
         active = self._active.get(key)
@@ -237,6 +271,7 @@ class HealthMonitor:
             self._active[key] = alert
             self.alerts.append(alert)
             self._emit("mon.alert", alert)
+            self._notify(alert)
         elif active is not None and value <= threshold.clear_below:
             del self._active[key]
             clear = Alert(
@@ -244,6 +279,40 @@ class HealthMonitor:
             )
             self.clears.append(clear)
             self._emit("mon.clear", clear)
+            self._notify(clear)
+
+    # -- subscriptions -----------------------------------------------------
+
+    def subscribe(self, listener) -> None:
+        """Call *listener(alert)* on every raise AND clear (the
+        ``kind`` field distinguishes them). Listeners run inside the
+        monitor tick, so reactions are deterministic — the remediation
+        controller attaches here."""
+        self._listeners.append(listener)
+
+    def _notify(self, alert: Alert) -> None:
+        for listener in list(self._listeners):
+            listener(alert)
+
+    def retire_node(self, node: str) -> None:
+        """Stop watching *node* (evicted from the cluster).
+
+        Its active alerts clear immediately — an evicted machine's
+        frozen gauges would otherwise hold e.g. a heartbeat-staleness
+        alert active forever — and later samples of it are ignored.
+        """
+        node = str(node)
+        self._retired.add(node)
+        now = self.sim.now
+        for key in sorted(k for k in self._active if k[0] == node):
+            alert = self._active.pop(key)
+            clear = Alert(
+                now, node, alert.signal, 0.0,
+                self.thresholds[alert.signal].clear_below, kind="clear",
+            )
+            self.clears.append(clear)
+            self._emit("mon.clear", clear)
+            self._notify(clear)
 
     def _emit(self, name: str, alert: Alert) -> None:
         self.sim.obs.emit(

@@ -1,0 +1,12 @@
+"""Automated remediation: the detect-isolate-recover loop.
+
+:mod:`repro.obs.monitor` detects (six hysteresis alert signals);
+:class:`RemediationController` isolates and recovers — restarting
+crashed replicas in place, evicting members stuck behind lossy links
+onto spares, and scaling the group's resilience degree under sustained
+retransmission pressure. See :mod:`repro.recovery.controller`.
+"""
+
+from repro.recovery.controller import RemediationController, RemediationPolicy
+
+__all__ = ["RemediationController", "RemediationPolicy"]

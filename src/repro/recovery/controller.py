@@ -1,0 +1,298 @@
+"""The remediation controller: closing the detect-isolate-recover loop.
+
+The health monitor (PR 5) gave the simulation eyes — six hysteresis
+alert signals derived from the metrics registry — and this module
+gives it hands. A :class:`RemediationController` subscribes to the
+monitor's alert stream and executes three policies against the
+cluster's elastic-membership API:
+
+* **restart in place** — a replica whose machine is down (its
+  heartbeat-staleness alert is active and its server process is dead)
+  is rebooted; the reboot re-runs the Fig. 6 recovery protocol and the
+  replica rejoins the group;
+* **evict + re-replicate** — a replica that is alive but unreachable
+  behind a persistently lossy link (staleness alert active beyond the
+  policy window while the process still runs) is decommissioned: the
+  sequencer excludes it from the view, the monitor retires the node,
+  and a spare from the configured pool boots in its place;
+* **scale resilience** — sustained gap-repair retransmissions
+  (``group.retrans_rate``) raise the group's resilience degree one
+  step as an ordered group operation; once the network has been quiet
+  for a policy window the controller scales back to the declared
+  degree, so ``check_resilience_restored`` holds at the end of a run.
+
+Every action is rate-limited (per-run budgets), cooled down (per node
+or per policy), and audited: each one appends to
+:attr:`RemediationController.actions`, bumps the ``remediate.actions``
+counter, and — when the flight recorder is on — lands a
+``remediate.<action>`` trace event stamped with the lineage
+``("remediate", action, n)``, so a post-mortem can replay exactly what
+the controller did and why. Reactions run either inside the monitor
+tick (listener bookkeeping) or inside the controller's own fixed-
+cadence process, so same-seed runs remediate identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+#: Alert signal that drives the membership policies (a member that
+#: neither sees nor sends heartbeats is crashed or unreachable).
+STALENESS = "group.heartbeat_staleness"
+#: Alert signal that drives the resilience-scaling policy.
+RETRANS = "group.retrans_rate"
+
+
+@dataclass(frozen=True)
+class RemediationPolicy:
+    """Tunables of the three remediation policies."""
+
+    #: Evaluation cadence; None inherits the monitor's interval.
+    interval_ms: float | None = None
+
+    # -- restart in place --
+    #: Minimum gap between restarts of the same node.
+    restart_cooldown_ms: float = 6_000.0
+    #: Total restarts allowed per run.
+    max_restarts: int = 4
+
+    # -- evict + re-replicate --
+    #: How long a live node's staleness alert must stay continuously
+    #: active before eviction (a crashed node is restarted instead).
+    evict_after_ms: float = 2_500.0
+    #: Minimum gap between evictions.
+    evict_cooldown_ms: float = 10_000.0
+    #: Total evictions allowed per run (bounded by the spare pool).
+    max_evictions: int = 2
+
+    # -- resilience scaling --
+    #: How long retransmission pressure must stay continuously active
+    #: before the degree is raised one step.
+    scale_after_ms: float = 1_500.0
+    #: Minimum gap between degree changes (either direction).
+    scale_cooldown_ms: float = 6_000.0
+    #: Total scale-ups allowed per run.
+    max_scale_ups: int = 3
+    #: How long every retransmission alert must stay clear before the
+    #: degree returns to the declared value.
+    scale_back_after_quiet_ms: float = 5_000.0
+
+
+class RemediationController:
+    """Subscribe to HealthMonitor alerts; drive the cluster back to
+    its declared shape."""
+
+    def __init__(self, cluster, monitor, policy: RemediationPolicy | None = None):
+        self.cluster = cluster
+        self.monitor = monitor
+        self.policy = policy or RemediationPolicy()
+        self.sim = cluster.sim
+        #: Audit trail: one dict per action, in execution order.
+        self.actions: list[dict] = []
+        self._active_since: dict[tuple, float] = {}  # (node, signal) -> t
+        self._restarted_at: dict[str, float] = {}
+        self._last_evict_at: float | None = None
+        self._last_scale_at: float | None = None
+        self._retrans_quiet_since: float | None = None
+        self._restarts = 0
+        self._evictions = 0
+        self._scale_ups = 0
+        self._scaling = False
+        self._action_no = 0
+        self._process = None
+        self._c_actions = self.sim.obs.registry.counter(
+            "remediation", "remediate.actions"
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "RemediationController":
+        """Attach to the monitor and start the policy loop."""
+        self.monitor.subscribe(self._on_event)
+        for alert in self.monitor.active_alerts:
+            self._active_since.setdefault((alert.node, alert.signal), alert.at_ms)
+        self._retrans_quiet_since = self.sim.now
+        interval = (
+            self.policy.interval_ms
+            if self.policy.interval_ms is not None
+            else self.monitor.interval_ms
+        )
+        self._process = self.sim.spawn(self._run(interval), "remediation-ctl")
+        return self
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.kill("remediation controller stopped")
+            self._process = None
+
+    def _run(self, interval_ms: float):
+        while True:
+            yield self.sim.sleep(interval_ms)
+            self.tick()
+
+    def _on_event(self, alert) -> None:
+        """Monitor listener: track when each alert went (in)active."""
+        key = (alert.node, alert.signal)
+        if alert.kind == "alert":
+            self._active_since.setdefault(key, alert.at_ms)
+        else:
+            self._active_since.pop(key, None)
+
+    # -- the policy loop ---------------------------------------------------
+
+    def tick(self) -> None:
+        now = self.sim.now
+        self._membership_policies(now)
+        self._scale_policy(now)
+
+    def _membership_policies(self, now: float) -> None:
+        for address in list(self.cluster.config.server_addresses):
+            node = str(address)
+            since = self._active_since.get((node, STALENESS))
+            if since is None:
+                continue
+            site = self.cluster.site_of(address)
+            if site is None:
+                continue
+            server = site.server
+            if server is None or not server.alive:
+                self._maybe_restart(site, node, now)
+            elif now - since >= self.policy.evict_after_ms:
+                self._maybe_evict(site, node, now, since)
+
+    def _maybe_restart(self, site, node: str, now: float) -> None:
+        if self._restarts >= self.policy.max_restarts:
+            return
+        last = self._restarted_at.get(node)
+        if last is not None and now - last < self.policy.restart_cooldown_ms:
+            return
+        self._restarts += 1
+        self._restarted_at[node] = now
+        index = self.cluster.sites.index(site)
+        self.cluster.restart_server(index)
+        self._audit("restart", node, server=index)
+
+    def _maybe_evict(self, site, node: str, now: float, since: float) -> None:
+        if self._evictions >= self.policy.max_evictions:
+            return
+        if (
+            self._last_evict_at is not None
+            and now - self._last_evict_at < self.policy.evict_cooldown_ms
+        ):
+            return
+        if not self.cluster.has_spare():
+            return
+        # Never evict into a minority: the OTHER operational replicas
+        # must form a majority of the shrunk server set by themselves.
+        others = [
+            s
+            for s in self.cluster.operational_servers()
+            if s.me != site.dir_address
+        ]
+        remaining = len(self.cluster.config.server_addresses) - 1
+        if len(others) < remaining // 2 + 1:
+            return
+        self._evictions += 1
+        self._last_evict_at = now
+        index = self.cluster.sites.index(site)
+        self.cluster.evict_server(index)
+        self.monitor.retire_node(node)
+        self._audit("evict", node, server=index, stale_ms=round(now - since, 3))
+        replacement = self.cluster.add_server()
+        self._audit(
+            "add",
+            str(replacement.me),
+            server=self.cluster.sites.index(self.cluster.site_of(replacement.me)),
+        )
+
+    def _scale_policy(self, now: float) -> None:
+        active = [
+            t
+            for (_node, signal), t in self._active_since.items()
+            if signal == RETRANS
+        ]
+        cfg = self.cluster.config
+        declared = self.cluster.declared_resilience
+        cooled = (
+            self._last_scale_at is None
+            or now - self._last_scale_at >= self.policy.scale_cooldown_ms
+        )
+        if active:
+            self._retrans_quiet_since = None
+            ceiling = cfg.n_servers - 1
+            if (
+                now - min(active) >= self.policy.scale_after_ms
+                and cfg.resilience < ceiling
+                and not self._scaling
+                and self._scale_ups < self.policy.max_scale_ups
+                and cooled
+            ):
+                self._scale_ups += 1
+                self._last_scale_at = now
+                self._launch_scale(cfg.resilience + 1, "scale_up")
+        else:
+            if self._retrans_quiet_since is None:
+                self._retrans_quiet_since = now
+            elif (
+                cfg.resilience > declared
+                and not self._scaling
+                and now - self._retrans_quiet_since
+                >= self.policy.scale_back_after_quiet_ms
+                and cooled
+            ):
+                self._last_scale_at = now
+                self._launch_scale(declared, "scale_back")
+
+    def _launch_scale(self, degree: int, action: str) -> None:
+        """Run the ordered resilience change in its own process (it
+        blocks on the group, which a tick callback cannot)."""
+        self._scaling = True
+
+        def run():
+            try:
+                for server in self.cluster.operational_servers():
+                    try:
+                        seqno = yield from server.change_resilience(degree)
+                    except ReproError:
+                        continue
+                    self._audit(
+                        action, str(server.me), resilience=degree, seqno=seqno
+                    )
+                    return
+                self._audit(action + "_failed", "cluster", resilience=degree)
+            finally:
+                self._scaling = False
+
+        self.sim.spawn(run(), f"remediate.{action}")
+
+    # -- audit -------------------------------------------------------------
+
+    def _audit(self, action: str, node: str, **detail) -> None:
+        self._action_no += 1
+        entry = {
+            "at_ms": round(self.sim.now, 3),
+            "action": action,
+            "node": node,
+            "n": self._action_no,
+            **detail,
+        }
+        self.actions.append(entry)
+        self._c_actions.inc()
+        self.sim.obs.emit(
+            node,
+            "remediate",
+            f"remediate.{action}",
+            lineage=("remediate", action, self._action_no),
+            **detail,
+        )
+
+    def summary(self) -> dict:
+        """JSON-safe digest (the chaos verdict embeds this)."""
+        return {
+            "actions": list(self.actions),
+            "restarts": self._restarts,
+            "evictions": self._evictions,
+            "scale_ups": self._scale_ups,
+        }

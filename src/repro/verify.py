@@ -268,6 +268,7 @@ class InvariantReport:
     lost_updates: list[str] = field(default_factory=list)
     linearizability_violations: list[str] = field(default_factory=list)
     duplicate_applies: list[str] = field(default_factory=list)
+    resilience_problems: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -277,6 +278,7 @@ class InvariantReport:
             and not self.lost_updates
             and not self.linearizability_violations
             and not self.duplicate_applies
+            and not self.resilience_problems
         )
 
     def problems(self) -> list[str]:
@@ -287,7 +289,63 @@ class InvariantReport:
         out.extend(self.lost_updates)
         out.extend(self.linearizability_violations)
         out.extend(self.duplicate_applies)
+        out.extend(self.resilience_problems)
         return out
+
+
+def check_resilience_restored(cluster) -> list[str]:
+    """The self-driving contract: the cluster is back at its DECLARED
+    shape after the faults (and the settle tail).
+
+    Checks, against ``cluster.declared_n_servers`` and
+    ``cluster.declared_resilience`` (captured at build time):
+
+    * the configured server set holds the declared number of replicas
+      (an eviction must have been re-replicated onto a spare);
+    * that many replicas are operational;
+    * every operational replica's view contains the whole server set;
+    * the service's resilience degree — shared config AND every
+      operational kernel — is back at the declared value (remediation
+      may scale it temporarily, but must scale it back).
+
+    Returns one message per violation; clusters without a declared
+    shape (other deployment kinds) vacuously pass.
+    """
+    declared_n = getattr(cluster, "declared_n_servers", None)
+    declared_r = getattr(cluster, "declared_resilience", None)
+    if declared_n is None or declared_r is None:
+        return []
+    problems: list[str] = []
+    addresses = tuple(cluster.config.server_addresses)
+    if len(addresses) != declared_n:
+        problems.append(
+            f"server set holds {len(addresses)} addresses; "
+            f"declared size is {declared_n}"
+        )
+    operational = cluster.operational_servers()
+    if len(operational) < declared_n:
+        problems.append(
+            f"only {len(operational)}/{declared_n} declared replicas are "
+            f"operational"
+        )
+    if cluster.config.resilience != declared_r:
+        problems.append(
+            f"service resilience degree is {cluster.config.resilience}; "
+            f"declared degree is {declared_r}"
+        )
+    for server in operational:
+        info = server.member.info()
+        missing = [str(a) for a in addresses if a not in info.view]
+        if missing:
+            problems.append(
+                f"server {server.index}: view is missing {missing}"
+            )
+        if info.resilience != declared_r:
+            problems.append(
+                f"server {server.index}: kernel resilience degree is "
+                f"{info.resilience}; declared degree is {declared_r}"
+            )
+    return problems
 
 
 def check_cluster(
@@ -296,6 +354,7 @@ def check_cluster(
     final_names: set | None = None,
     private_keys: bool = True,
     trace_events=None,
+    check_resilience: bool = False,
 ) -> InvariantReport:
     """Run every invariant against a quiesced cluster + client history.
 
@@ -306,12 +365,14 @@ def check_cluster(
     sets) are replaced by the shared-key linearizability checker.
     Pass the run's trace events (``cluster.obs.tracer.events()`` or
     the exported dicts) as *trace_events* to also scan for duplicate
-    session-op applications.
+    session-op applications. With ``check_resilience=True`` the report
+    also includes :func:`check_resilience_restored` (elastic clusters
+    under remediation must end at their declared shape).
     """
     operational = cluster.operational_servers()
     report = InvariantReport(
         operational=len(operational),
-        total_servers=len(cluster.servers),
+        total_servers=sum(1 for s in cluster.servers if s is not None),
         replicas_equal=cluster.replicas_consistent(),
     )
     if private_keys:
@@ -324,6 +385,8 @@ def check_cluster(
         )
     if trace_events is not None:
         report.duplicate_applies = check_exactly_once_applies(trace_events)
+    if check_resilience:
+        report.resilience_problems = check_resilience_restored(cluster)
     return report
 
 

@@ -17,7 +17,9 @@ def operational_cluster(seed=1):
     return cluster
 
 
-RECOVERABLE = [n for n in NEMESES if n != "majority_lost"]
+# majority_lost is unrecoverable on purpose; rolling_faults leaves the
+# world broken for the remediation controller to repair.
+RECOVERABLE = [n for n in NEMESES if n not in ("majority_lost", "rolling_faults")]
 
 
 class TestRegistry:
@@ -96,6 +98,27 @@ class TestRecoverableBuilders:
         ]
         assert kinds.count("crash sequencer") == kinds.count("restart sequencer")
         assert kinds.count("crash sequencer") >= 1
+
+
+class TestRollingFaults:
+    def test_crash_left_down_but_link_policies_lift(self):
+        cluster = operational_cluster()
+        start = cluster.sim.now + 1_000.0
+        window = 30_000.0
+        plan = build_nemesis(
+            "rolling_faults", cluster, random.Random(4), start, window
+        )
+        assert all(
+            start <= e.at_ms <= start + window for e in plan.events
+        )
+        crashes = [e for e in plan.events if isinstance(e, Crash)]
+        restarts = [e for e in plan.events if isinstance(e, Restart)]
+        assert len(crashes) == 1 and not restarts  # remediation's job
+        # Both lossy phases are bounded: each installed policy is
+        # removed again inside the window.
+        installs = [e for e in plan.events if type(e).__name__ == "InstallLinkPolicy"]
+        removes = [e for e in plan.events if type(e).__name__ == "RemoveLinkPolicy"]
+        assert len(installs) == 2 and len(removes) == 2
 
 
 class TestMajorityLost:

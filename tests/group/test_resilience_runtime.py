@@ -1,0 +1,104 @@
+"""Membership as a runtime operation, at the kernel level.
+
+``set_resilience`` is an ordered group operation: every member adopts
+the new degree at the same sequence number. ``evict_member`` is the
+coordinator-driven exclusion: the sequencer shrinks the view without
+failing the group, and a live evictee self-fails. Both land in the
+kernel's ``view_log`` so ``cluster.report()`` can show the history.
+"""
+
+from repro.group.kernel import ResilienceChange
+
+from tests.group.test_basic import build_group
+
+
+class TestRuntimeResilience:
+    def test_all_members_adopt_the_new_degree(self):
+        bed, members = build_group(["a", "b", "c"], resilience=1)
+
+        def run():
+            return (yield from members["b"].set_resilience(2))
+
+        seqno = bed.run_until(bed.sim.spawn(run()))
+        assert seqno >= 0
+        bed.run(until=bed.sim.now + 500.0)
+        for member in members.values():
+            assert member.kernel.resilience == 2
+
+    def test_change_is_ordered_with_traffic(self):
+        """The marker occupies a seqno between surrounding sends, and
+        every member sees the control record at that exact position."""
+        bed, members = build_group(["a", "b", "c"], resilience=1)
+
+        def run():
+            before = yield from members["a"].send_to_group("pre")
+            marker = yield from members["b"].set_resilience(2)
+            after = yield from members["a"].send_to_group("post")
+            return before, marker, after
+
+        before, marker, after = bed.run_until(bed.sim.spawn(run()))
+        assert before < marker < after
+        bed.run(until=bed.sim.now + 500.0)
+        for member in members.values():
+            record = member.kernel.history.get(marker)
+            assert isinstance(record.payload, ResilienceChange)
+            assert record.payload.resilience == 2
+
+    def test_view_log_records_the_resilience_trigger(self):
+        bed, members = build_group(["a", "b", "c"], resilience=1)
+
+        def run():
+            yield from members["a"].set_resilience(2)
+
+        bed.run_until(bed.sim.spawn(run()))
+        bed.run(until=bed.sim.now + 500.0)
+        for member in members.values():
+            triggers = [e["trigger"] for e in member.kernel.view_log]
+            assert "resilience" in triggers
+            entry = next(
+                e for e in member.kernel.view_log
+                if e["trigger"] == "resilience"
+            )
+            assert entry["resilience"] == 2
+
+
+class TestEvictMember:
+    def test_sequencer_evicts_and_view_shrinks(self):
+        bed, members = build_group(["a", "b", "c"])
+        assert members["a"].is_sequencer
+        assert members["a"].kernel.evict_member("c") is True
+        bed.run(until=bed.sim.now + 1_500.0)
+        assert sorted(members["a"].info().view) == ["a", "b"]
+        assert sorted(members["b"].info().view) == ["a", "b"]
+
+    def test_live_evictee_leaves_membership(self):
+        bed, members = build_group(["a", "b", "c"])
+        members["a"].kernel.evict_member("c")
+        bed.run(until=bed.sim.now + 1_500.0)
+        # The evictee saw the announcement, self-failed, and is no
+        # longer a member (a failed kernel settles back to idle).
+        assert members["c"].info().state in ("failed", "idle")
+        assert not members["c"].is_member
+
+    def test_only_the_sequencer_may_evict(self):
+        bed, members = build_group(["a", "b", "c"])
+        assert members["b"].kernel.evict_member("c") is False
+        assert sorted(members["a"].info().view) == ["a", "b", "c"]
+
+    def test_cannot_evict_self_or_stranger(self):
+        bed, members = build_group(["a", "b", "c"])
+        assert members["a"].kernel.evict_member("a") is False
+        assert members["a"].kernel.evict_member("ghost") is False
+
+    def test_group_survives_eviction_and_keeps_ordering(self):
+        bed, members = build_group(["a", "b", "c"], resilience=1)
+        members["a"].kernel.evict_member("c")
+        bed.run(until=bed.sim.now + 1_500.0)
+
+        def run():
+            return (yield from members["b"].send_to_group("after-evict"))
+
+        seqno = bed.run_until(bed.sim.spawn(run()))
+        assert seqno >= 0
+        triggers = [e["trigger"] for e in members["a"].kernel.view_log]
+        assert any(t in ("member_failed", "leave", "evict") for t in triggers)

@@ -228,3 +228,79 @@ class TestDefaults:
             "group.heartbeat_staleness",
             "group.view_churn",
         }
+
+
+class TestThresholdOverrides:
+    """Satellite: scenarios tune thresholds without rebuilding the
+    whole table — thresholds_with patches the defaults by signal."""
+
+    def test_thresholds_with_patches_one_signal(self):
+        from repro.obs.monitor import thresholds_with
+
+        table = thresholds_with({"group.retrans_rate": (2.0, 0.5)})
+        by_signal = {t.signal: t for t in table}
+        assert by_signal["group.retrans_rate"].alert_above == 2.0
+        assert by_signal["group.retrans_rate"].clear_below == 0.5
+        # Everything else is untouched, and no signal was dropped.
+        defaults = {t.signal: t for t in DEFAULT_THRESHOLDS}
+        assert set(by_signal) == set(defaults)
+        for signal, t in by_signal.items():
+            if signal != "group.retrans_rate":
+                assert t == defaults[signal]
+
+    def test_override_keeps_the_hysteresis_invariant(self):
+        from repro.obs.monitor import thresholds_with
+
+        table = thresholds_with({"group.heartbeat_staleness": (900.0, 200.0)})
+        t = next(x for x in table if x.signal == "group.heartbeat_staleness")
+        assert t.clear_below < t.alert_above
+
+    def test_monitor_uses_the_overridden_threshold(self):
+        from repro.obs.monitor import thresholds_with
+
+        sim = FakeSim()
+        gauge = sim.registry.gauge("s0", "group.backlog")
+        table = thresholds_with({"group.backlog": (3.0, 1.0)})
+        monitor = make_monitor(sim, thresholds=table)
+        gauge.set(5.0)  # above the tightened 3.0, below the default
+        advance(sim, monitor)
+        assert [a.signal for a in monitor.alerts] == ["group.backlog"]
+
+
+class TestSubscribeAndRetire:
+    """The remediation controller's attachment points."""
+
+    def _alerting_monitor(self):
+        sim = FakeSim()
+        gauge = sim.registry.gauge("s0", "group.backlog")
+        monitor = make_monitor(
+            sim, thresholds=(Threshold("group.backlog", 8.0, 2.0, "msgs"),)
+        )
+        return sim, gauge, monitor
+
+    def test_listener_sees_raises_and_clears_in_order(self):
+        sim, gauge, monitor = self._alerting_monitor()
+        seen = []
+        monitor.subscribe(lambda a: seen.append((a.kind, a.node, a.signal)))
+        gauge.set(50.0)
+        advance(sim, monitor)
+        gauge.set(0.0)
+        advance(sim, monitor)
+        assert seen == [
+            ("alert", "s0", "group.backlog"),
+            ("clear", "s0", "group.backlog"),
+        ]
+
+    def test_retire_node_clears_active_alerts_and_mutes_the_node(self):
+        sim, gauge, monitor = self._alerting_monitor()
+        seen = []
+        monitor.subscribe(lambda a: seen.append(a.kind))
+        gauge.set(50.0)
+        advance(sim, monitor)
+        assert monitor.active_alerts
+        monitor.retire_node("s0")
+        assert monitor.active_alerts == []
+        assert seen == ["alert", "clear"]
+        gauge.set(90.0)  # frozen gauge of an evicted machine
+        advance(sim, monitor)
+        assert monitor.active_alerts == []  # retired: ignored for good

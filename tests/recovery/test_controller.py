@@ -1,0 +1,162 @@
+"""Remediation-controller unit tests: each policy against a real
+cluster, driven by a stub monitor so every alert edge is exact."""
+
+from repro.cluster import GroupServiceCluster
+from repro.obs.monitor import Alert
+from repro.recovery import RemediationController, RemediationPolicy
+from repro.recovery.controller import RETRANS, STALENESS
+
+
+class StubMonitor:
+    """Just the surface the controller uses: subscribe + retire."""
+
+    def __init__(self, sim, interval_ms=100.0):
+        self.sim = sim
+        self.interval_ms = interval_ms
+        self.active_alerts: list = []
+        self.retired: list = []
+        self._listener = None
+
+    def subscribe(self, listener):
+        self._listener = listener
+
+    def retire_node(self, node):
+        self.retired.append(str(node))
+
+    def raise_alert(self, node, signal):
+        self._listener(Alert(self.sim.now, str(node), signal, 1.0, 0.5))
+
+    def clear_alert(self, node, signal):
+        self._listener(
+            Alert(self.sim.now, str(node), signal, 0.0, 0.5, kind="clear")
+        )
+
+
+def make_cluster(**kw):
+    cluster = GroupServiceCluster(name="ctl", seed=9, **kw)
+    cluster.start()
+    cluster.wait_operational()
+    return cluster
+
+
+def make_controller(cluster, **policy_kw):
+    policy = RemediationPolicy(interval_ms=100.0, **policy_kw)
+    monitor = StubMonitor(cluster.sim)
+    controller = RemediationController(cluster, monitor, policy).start()
+    return controller, monitor
+
+
+def run(cluster, ms):
+    cluster.sim.run(until=cluster.sim.now + ms)
+
+
+class TestRestartPolicy:
+    def test_crashed_member_with_staleness_alert_is_rebooted(self):
+        cluster = make_cluster()
+        controller, monitor = make_controller(cluster)
+        cluster.crash_server(1)
+        monitor.raise_alert(cluster.sites[1].dir_address, STALENESS)
+        run(cluster, 400.0)
+        assert cluster.servers[1] is not None and cluster.servers[1].alive
+        actions = [a["action"] for a in controller.actions]
+        assert actions == ["restart"]
+        assert controller.actions[0]["node"] == str(cluster.sites[1].dir_address)
+
+    def test_restart_budget_is_enforced(self):
+        cluster = make_cluster()
+        controller, monitor = make_controller(
+            cluster, max_restarts=1, restart_cooldown_ms=0.0
+        )
+        node = cluster.sites[1].dir_address
+        cluster.crash_server(1)
+        monitor.raise_alert(node, STALENESS)
+        run(cluster, 400.0)
+        assert cluster.servers[1].alive
+        cluster.crash_server(1)
+        run(cluster, 800.0)
+        assert not cluster.servers[1].alive  # budget spent; stays down
+        assert [a["action"] for a in controller.actions] == ["restart"]
+
+    def test_no_action_without_an_alert(self):
+        cluster = make_cluster()
+        controller, _ = make_controller(cluster)
+        cluster.crash_server(1)
+        run(cluster, 600.0)
+        assert controller.actions == []
+
+
+class TestEvictPolicy:
+    def test_persistently_stale_live_member_is_replaced_by_a_spare(self):
+        cluster = make_cluster(spares=1)
+        controller, monitor = make_controller(cluster, evict_after_ms=300.0)
+        node = cluster.sites[2].dir_address
+        monitor.raise_alert(node, STALENESS)  # alive but unreachable
+        run(cluster, 700.0)
+        actions = [a["action"] for a in controller.actions]
+        assert actions == ["evict", "add"]
+        assert cluster.sites[2].server is None
+        assert str(node) in monitor.retired
+        assert str(node) not in map(str, cluster.config.server_addresses)
+        assert len(cluster.config.server_addresses) == 3
+
+    def test_no_evict_without_a_spare(self):
+        cluster = make_cluster(spares=0)
+        controller, monitor = make_controller(cluster, evict_after_ms=300.0)
+        monitor.raise_alert(cluster.sites[2].dir_address, STALENESS)
+        run(cluster, 900.0)
+        assert controller.actions == []
+        assert cluster.sites[2].server is not None
+
+    def test_no_evict_into_a_minority(self):
+        cluster = make_cluster(spares=1)
+        controller, monitor = make_controller(cluster, evict_after_ms=300.0)
+        # Only one OTHER replica operational: eviction must refuse.
+        cluster.crash_server(0)
+        monitor.raise_alert(cluster.sites[2].dir_address, STALENESS)
+        run(cluster, 900.0)
+        assert [a["action"] for a in controller.actions] == []
+
+
+class TestScalePolicy:
+    def test_sustained_retrans_scales_up_then_quiet_scales_back(self):
+        cluster = make_cluster(resilience=1)
+        controller, monitor = make_controller(
+            cluster,
+            scale_after_ms=300.0,
+            scale_cooldown_ms=200.0,
+            scale_back_after_quiet_ms=400.0,
+        )
+        node = cluster.sites[0].dir_address
+        monitor.raise_alert(node, RETRANS)
+        run(cluster, 900.0)
+        assert cluster.config.resilience == 2
+        assert cluster.declared_resilience == 1  # operator intent kept
+        monitor.clear_alert(node, RETRANS)
+        run(cluster, 1_500.0)
+        assert cluster.config.resilience == 1
+        actions = [a["action"] for a in controller.actions]
+        assert actions == ["scale_up", "scale_back"]
+        # Every member kernel adopted the final degree.
+        for server in cluster.operational_servers():
+            assert server.member.kernel.resilience == 1
+
+    def test_scale_up_respects_the_ceiling(self):
+        cluster = make_cluster(resilience=2)  # already n - 1
+        controller, monitor = make_controller(cluster, scale_after_ms=300.0)
+        monitor.raise_alert(cluster.sites[0].dir_address, RETRANS)
+        run(cluster, 900.0)
+        assert cluster.config.resilience == 2
+        assert controller.actions == []
+
+
+class TestAudit:
+    def test_actions_are_numbered_and_counted(self):
+        cluster = make_cluster()
+        controller, monitor = make_controller(cluster)
+        cluster.crash_server(1)
+        monitor.raise_alert(cluster.sites[1].dir_address, STALENESS)
+        run(cluster, 400.0)
+        assert [a["n"] for a in controller.actions] == [1]
+        summary = controller.summary()
+        assert summary["restarts"] == 1
+        assert summary["actions"] == controller.actions
