@@ -1,0 +1,232 @@
+"""Raw simulator speed — sim-events/s the host chews through.
+
+Every scale-out item on the roadmap (namespace sharding, pipelined
+dissemination, 5k-client reads) multiplies simulated event counts;
+this benchmark is the committed record of how fast the event loop is
+and the CI gate that keeps it that way. Running the file as a script
+regenerates ``BENCH_sim.json`` and can gate on a committed baseline:
+
+    PYTHONPATH=src python benchmarks/bench_sim.py \
+        --out BENCH_sim.json --check-against BENCH_sim.json
+
+Absolute sim-events/s depends on the host, so the gate compares
+*normalized* throughput: events/s divided by a pure-Python calibration
+loop measured in the same process. The ratio cancels host speed; a
+>10% drop in it is a real event-loop regression, not a slower runner.
+
+Scenarios come from :mod:`repro.bench.simbench` (the same ones
+``python -m repro perf`` profiles); the timed runs here attach **no**
+profiler, so the published numbers carry zero instrumentation cost.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+from time import perf_counter_ns
+
+from repro.bench.simbench import run_perf_scenario
+
+SCENARIO = "mixed"
+
+#: One-time before/after record of the event-loop quick wins this
+#: benchmark's first version landed with (measured on one host, both
+#: numbers in the same process — the ratio is what matters):
+#: 1. ``_post``/``_post_in`` fast paths — process wakeups, sleeps, and
+#:    spawns skip the per-event Timer allocation (they are never
+#:    cancelled);
+#: 2. process resumption via a stashed-payload bound method instead of
+#:    a fresh ``lambda`` closure per generator step;
+#: 3. precomputed debug names for sleep/timeout futures and the
+#:    Condition/Semaphore/Channel wait futures (no f-string per call).
+QUICK_WIN = {
+    "description": (
+        "no-Timer fast path for wakeups/sleeps + bound-method process "
+        "resumption + precomputed future debug names"
+    ),
+    "mixed_medium": {
+        "scenario": "mixed/medium seed=0, obs off, best of 3, same host",
+        "before_events_per_s": 175_358,
+        "after_events_per_s": 181_723,
+        "speedup_x": 1.04,
+    },
+    "scheduler_micro": {
+        "scenario": "200 procs x 500 sleeps (pure loop), best of 3, same host",
+        "before_events_per_s": 410_769,
+        "after_events_per_s": 550_872,
+        "speedup_x": 1.34,
+    },
+}
+
+
+def _calibration_loops_per_s(n: int = 400_000, rounds: int = 3) -> float:
+    """Fixed pure-Python work rate, measured best-of-rounds.
+
+    Dict stores + integer arithmetic — the same flavor of work the
+    event loop does — so events/s divided by this is host-independent
+    enough to gate on across CI runners.
+    """
+    best = 0.0
+    for _ in range(rounds):
+        d = {}
+        acc = 0
+        t0 = perf_counter_ns()
+        for i in range(n):
+            d[i & 63] = acc
+            acc += i
+        dt = perf_counter_ns() - t0
+        best = max(best, n / (dt / 1e9))
+    return best
+
+
+def measure_cell(
+    scale: str, obs_on: bool, seed: int = 0, repeats: int = 2
+) -> dict:
+    """Best-of-N wallclock for one (scale, obs) cell, profiler off."""
+    best = None
+    for _ in range(max(1, repeats)):
+        run = run_perf_scenario(
+            SCENARIO,
+            scale,
+            seed=seed,
+            trace=obs_on,
+            monitor=obs_on,
+            profile=False,
+        )
+        if best is None or run.wall_ns < best.wall_ns:
+            best = run
+    return {
+        "events_per_s": round(best.events_per_s, 1),
+        "scheduled_events": best.scheduled_events,
+        "ops": best.ops,
+        "sim_ms": round(best.sim_ms, 1),
+        "wall_ms": round(best.wall_ns / 1e6, 1),
+    }
+
+
+def run_matrix(scales, seed: int = 0, repeats: int = 2) -> dict:
+    cells: dict = {}
+    for scale in scales:
+        cells[scale] = {
+            "obs_off": measure_cell(scale, obs_on=False, seed=seed, repeats=repeats),
+            "obs_on": measure_cell(scale, obs_on=True, seed=seed, repeats=repeats),
+        }
+    return cells
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (bench suite)
+# ----------------------------------------------------------------------
+
+def test_sim_speed_sane(benchmark, results_dir):
+    from conftest import write_result
+
+    cell = benchmark.pedantic(
+        lambda: measure_cell("small", obs_on=False, repeats=1),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        results_dir,
+        "e8_sim_speed.txt",
+        "E8 — raw simulator speed (mixed/small, obs off)\n"
+        f"  sim-events/s: {cell['events_per_s']:12,.0f}\n"
+        f"  events:       {cell['scheduled_events']:12,}",
+    )
+    # Any interpreter on any host should clear this by an order of
+    # magnitude; the real gate is the normalized CI check.
+    assert cell["events_per_s"] > 5_000
+
+
+def test_sim_speed_matches_committed_baseline():
+    """The committed BENCH_sim.json must describe THIS code.
+
+    Normalized comparison with a wide (35%) margin: the strict 10%
+    gate runs in CI where the calibration happens on the same runner.
+    """
+    baseline_path = pathlib.Path(__file__).parent.parent / "BENCH_sim.json"
+    baseline = json.loads(baseline_path.read_text())
+    cal = _calibration_loops_per_s()
+    cell = measure_cell("small", obs_on=False, repeats=2)
+    old = (
+        baseline["scales"]["small"]["obs_off"]["events_per_s"]
+        / baseline["calibration_loops_per_s"]
+    )
+    new = cell["events_per_s"] / cal
+    assert new >= old * 0.65, (
+        f"normalized sim-events/s {new:.4f} regressed >35% against "
+        f"committed {old:.4f}"
+    )
+
+
+# ----------------------------------------------------------------------
+# script mode (CI bench-sim job)
+# ----------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_sim.json")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small+medium scales only, 1 repeat (CI smoke)",
+    )
+    parser.add_argument(
+        "--check-against", default=None,
+        help="baseline JSON to gate normalized sim-events/s against",
+    )
+    parser.add_argument("--max-regression", type=float, default=0.10)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    scales = ("small", "medium") if args.quick else ("small", "medium", "large")
+    repeats = 1 if args.quick else 2
+    calibration = _calibration_loops_per_s()
+    cells = run_matrix(scales, seed=args.seed, repeats=repeats)
+
+    result = {
+        "schema": 1,
+        "quick": args.quick,
+        "scenario": SCENARIO,
+        "seed": args.seed,
+        "calibration_loops_per_s": round(calibration, 1),
+        "scales": cells,
+        "quick_win": QUICK_WIN,
+    }
+    for scale, cell in cells.items():
+        off, on = cell["obs_off"], cell["obs_on"]
+        cell["obs_overhead_pct"] = round(
+            (off["events_per_s"] / on["events_per_s"] - 1.0) * 100, 1
+        )
+        cell["normalized_events_per_s"] = round(
+            off["events_per_s"] / calibration, 4
+        )
+
+    status = 0
+    if args.check_against:
+        baseline = json.loads(pathlib.Path(args.check_against).read_text())
+        old_cal = baseline["calibration_loops_per_s"]
+        floor = 1.0 - args.max_regression
+        for scale in scales:
+            if scale not in baseline.get("scales", {}):
+                continue
+            old = (
+                baseline["scales"][scale]["obs_off"]["events_per_s"] / old_cal
+            )
+            new = cells[scale]["obs_off"]["events_per_s"] / calibration
+            verdict = "ok" if new >= old * floor else "REGRESSED"
+            print(
+                f"{scale}: normalized events/s {new:.4f} "
+                f"(baseline {old:.4f}, floor {old * floor:.4f}) {verdict}"
+            )
+            if verdict != "ok":
+                status = 1
+
+    out_path = pathlib.Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

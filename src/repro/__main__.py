@@ -11,6 +11,8 @@ Usage::
     python -m repro chaos --json       # ... machine-readable verdicts
     python -m repro trace update       # traced run + phase breakdown
     python -m repro profile update     # per-operation latency budget
+    python -m repro perf mixed         # host-time budget (sim-events/s)
+    python -m repro perf overhead      # obs on/off overhead accounting
 
 Each command prints the measured numbers next to the paper's. For the
 full experiment set (ablations included) run
@@ -93,7 +95,7 @@ def cmd_all(args) -> int:
 def cmd_chaos(args) -> int:
     import json
 
-    from repro.chaos import SCENARIOS, format_verdicts, run_suite
+    from repro.chaos import SCENARIOS, format_verdicts, host_summary, run_suite
 
     if args.list_scenarios:
         for scenario in SCENARIOS:
@@ -119,6 +121,7 @@ def cmd_chaos(args) -> int:
                 {
                     "passed": len(verdicts) - len(failures),
                     "total": len(verdicts),
+                    "host": host_summary(verdicts),
                     "verdicts": [v.as_dict() for v in verdicts],
                 },
                 indent=2,
@@ -246,6 +249,84 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    import json
+    import pathlib
+
+    from repro.bench import simbench
+    from repro.obs import hostprof, overhead
+    from repro.obs.export import write_trace
+
+    scenario = args.target or "mixed"
+
+    if scenario == "overhead":
+        result = overhead.account(
+            "mixed", args.scale, seed=args.seed, repeats=2
+        )
+        result["micro"] = overhead.disabled_path_micro()
+        if args.json:
+            print(json.dumps(result, indent=2, sort_keys=True))
+        else:
+            print(overhead.format_account(result))
+        return 0 if result["trace_is_passive"] else 1
+
+    if scenario not in simbench.SCENARIOS:
+        print(f"error: unknown perf scenario {scenario!r}")
+        print(
+            "known scenarios: "
+            f"{', '.join(simbench.SCENARIOS)}, overhead"
+        )
+        return 2
+    run = simbench.run_perf_scenario(
+        scenario,
+        scale=args.scale,
+        seed=args.seed,
+        sample=args.sample,
+        keep_slices=args.perfetto,
+    )
+    report = run.capture.report(top=args.top)
+
+    if args.perfetto:
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        trace_path = out_dir / (
+            f"perf-{scenario}-{args.scale}-seed{run.seed}.trace.json"
+        )
+        write_trace(run.capture.host_track_events(), trace_path, "chrome")
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "fingerprint": run.fingerprint(),
+                    "deterministic": hostprof.deterministic_digest(report),
+                    "report": report,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        title = (
+            f"host-time budget — scenario={scenario} scale={args.scale} "
+            f"seed={run.seed} ({run.ops} ops, {run.sim_ms:.0f} sim-ms)"
+        )
+        print(hostprof.format_report(report, title))
+        if args.perfetto:
+            print(
+                f"\nwrote {trace_path}  (open in https://ui.perfetto.dev — "
+                "host-timeline spans, one track per component)"
+            )
+    # The attribution invariant is part of the command's contract.
+    total = sum(
+        row["host_ns"] for row in report["events"]["by_component"].values()
+    )
+    if total != report["host"]["exec_ns"]:
+        print("FAIL: per-component host-ns do not sum to measured total")
+        return 1
+    return 0
+
+
 def cmd_demo(args) -> int:
     import pathlib
     import runpy
@@ -316,12 +397,30 @@ def main(argv=None) -> int:
         "--top",
         type=int,
         default=3,
-        help="profile: how many slowest operations to show in full",
+        help="profile/perf: how many slowest operations/sites to show",
+    )
+    parser.add_argument(
+        "--sample",
+        type=int,
+        default=1,
+        help="perf: time every Nth event (count all); lowers overhead",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["small", "medium", "large"],
+        default="small",
+        help="perf: workload scale (clients × measurement window)",
+    )
+    parser.add_argument(
+        "--perfetto",
+        action="store_true",
+        help="perf: write a host-timeline Chrome/Perfetto trace to --out",
     )
     parser.add_argument(
         "command",
         choices=[
-            "fig7", "fig8", "fig9", "all", "demo", "chaos", "trace", "profile",
+            "fig7", "fig8", "fig9", "all", "demo", "chaos", "trace",
+            "profile", "perf",
         ],
         help="which artifact to regenerate",
     )
@@ -330,7 +429,8 @@ def main(argv=None) -> int:
         nargs="?",
         default=None,
         help="trace/profile: scenario to record "
-        "(update | nvram-update | lookup)",
+        "(update | nvram-update | lookup); "
+        "perf: lookup | update | mixed | overhead",
     )
     args = parser.parse_args(argv)
     handler = {
@@ -342,6 +442,7 @@ def main(argv=None) -> int:
         "chaos": cmd_chaos,
         "trace": cmd_trace,
         "profile": cmd_profile,
+        "perf": cmd_perf,
     }[args.command]
     return handler(args)
 

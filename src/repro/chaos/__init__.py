@@ -32,6 +32,7 @@ from repro.chaos.runner import (
     ScenarioVerdict,
     dump_flight_recorder,
     format_verdicts,
+    host_summary,
     run_scenario,
     run_suite,
     scenario_by_name,
@@ -47,6 +48,7 @@ __all__ = [
     "build_nemesis",
     "dump_flight_recorder",
     "format_verdicts",
+    "host_summary",
     "run_scenario",
     "run_suite",
     "scenario_by_name",

@@ -30,6 +30,7 @@ import dataclasses
 import json
 import pathlib
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 from typing import Callable
 
 from repro.chaos.nemesis import build_nemesis
@@ -142,6 +143,11 @@ class ScenarioVerdict:
     #: Remediation audit trail (repro.recovery), when the scenario ran
     #: a controller: one dict per action, in execution order.
     remediation_actions: list = field(default_factory=list)
+    #: Host wallclock (ms) spent on this run, by phase: "build" (boot +
+    #: wait operational + fault-plan arming), "run" (the simulated
+    #: window incl. settle/re-form), "verify" (invariant checks), and
+    #: "total". Seed-sweep slowdowns show up here in CI artifacts.
+    host_ms: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         """JSON-serializable form (``python -m repro chaos --json``)."""
@@ -172,6 +178,7 @@ class ScenarioVerdict:
                 "alerts_in_fault_window": self.alerts_in_fault_window,
             },
             "remediation_actions": _plain(self.remediation_actions),
+            "host_ms": {k: round(v, 1) for k, v in self.host_ms.items()},
         }
         if self.report is not None:
             out["invariants"] = {
@@ -527,6 +534,7 @@ def run_scenario(
     window_ms = scenario.window_ms * (0.6 if smoke else 1.0)
     n_clients = min(scenario.n_clients, 2) if smoke else scenario.n_clients
     holder: dict = {}
+    t0 = perf_counter_ns()
     try:
         return _run(scenario, seed, window_ms, n_clients, holder)
     except Exception as exc:  # harness bug or simulated deadlock
@@ -537,6 +545,7 @@ def run_scenario(
             ok=False,
             expected_available=scenario.expect_available,
             problems=[f"{type(exc).__name__}: {exc}"],
+            host_ms={"total": (perf_counter_ns() - t0) / 1e6},
         )
         cluster = holder.get("cluster")
         if cluster is not None:
@@ -554,6 +563,7 @@ def _run(
     n_clients: int,
     holder: dict | None = None,
 ):
+    host_t0 = perf_counter_ns()
     cluster = _build_cluster(scenario, seed)
     if holder is not None:
         holder["cluster"] = cluster
@@ -585,6 +595,7 @@ def _run(
     rng = sim.rng.stream(f"chaos.{scenario.name}")
     plan = scenario.build(cluster, rng, start + WARMUP_MS, window_ms)
     plan.arm(cluster)
+    host_built = perf_counter_ns()
 
     def client_loop(tag):
         client = cluster.add_client(tag)
@@ -712,6 +723,7 @@ def _run(
     if scenario.cluster_kind == "rpc":
         cluster.settle(2_000.0)  # drain lazy replication
 
+    host_ran = perf_counter_ns()
     operational = cluster.operational_servers()
     available = len(operational) >= _majority(cluster)
 
@@ -825,6 +837,12 @@ def _run(
         remediation_actions=(
             [dict(a) for a in controller.actions] if controller else []
         ),
+        host_ms={
+            "build": (host_built - host_t0) / 1e6,
+            "run": (host_ran - host_built) / 1e6,
+            "verify": (perf_counter_ns() - host_ran) / 1e6,
+            "total": (perf_counter_ns() - host_t0) / 1e6,
+        },
     )
 
 
@@ -892,16 +910,43 @@ def run_suite(
 def format_verdicts(verdicts: list[ScenarioVerdict]) -> str:
     lines = [
         f"{'seed':>6}  {'scenario':<28}{'verdict':<14}{'faults':>7}"
-        f"  {'up':>3}  problems"
+        f"  {'up':>3}  {'host-s':>7}  problems"
     ]
     for v in verdicts:
         up = "-" if v.report is None else str(v.report.operational)
+        host = v.host_ms.get("total")
         lines.append(
             f"{v.seed:>6}  {v.scenario:<28}"
             f"{v.status + ('' if v.ok else ' (!)'):<14}"
             f"{len(v.fault_log):>7}  {up:>3}  "
+            f"{(host / 1e3 if host else 0):>7.1f}  "
             + ("; ".join(v.problems[:2]) if v.problems else "-")
         )
     passed = sum(1 for v in verdicts if v.ok)
     lines.append(f"{passed}/{len(verdicts)} scenario runs passed")
+    total_host = sum(v.host_ms.get("total", 0.0) for v in verdicts)
+    if total_host:
+        lines.append(f"host wallclock: {total_host / 1e3:.1f} s total")
     return "\n".join(lines)
+
+
+def host_summary(verdicts: list[ScenarioVerdict]) -> dict:
+    """Suite-level host wallclock rollup for ``--json`` output."""
+    by_scenario: dict[str, dict] = {}
+    for v in verdicts:
+        total = v.host_ms.get("total", 0.0)
+        row = by_scenario.setdefault(
+            v.scenario, {"runs": 0, "total_ms": 0.0, "slowest_ms": 0.0}
+        )
+        row["runs"] += 1
+        row["total_ms"] += total
+        row["slowest_ms"] = max(row["slowest_ms"], total)
+    for row in by_scenario.values():
+        row["total_ms"] = round(row["total_ms"], 1)
+        row["slowest_ms"] = round(row["slowest_ms"], 1)
+    return {
+        "total_ms": round(
+            sum(v.host_ms.get("total", 0.0) for v in verdicts), 1
+        ),
+        "by_scenario": by_scenario,
+    }

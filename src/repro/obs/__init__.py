@@ -27,9 +27,19 @@ registry is always on (plain integer/float bumps).
 :mod:`repro.obs.breakdown` (imported lazily by the CLI, not here, to
 keep this package import-cycle-free) turns a trace of one Fig. 7
 update run into a wire/sequencer/compute/disk latency attribution.
+
+The *host-time* layer (ISSUE 7 tentpole) sits beside the sim-time one:
+
+* :mod:`repro.obs.hostprof` — a host-clock profiler for the simulator
+  event loop (per-event-kind / per-component ns attribution,
+  sim-events/s, ``python -m repro perf``);
+* :mod:`repro.obs.overhead` — the observability overhead accountant
+  measuring the marginal host cost of trace/monitor and pinning the
+  disabled-path cost (``python -m repro perf overhead``).
 """
 
 from repro.obs.export import to_chrome_trace, to_jsonl, to_text, write_trace
+from repro.obs.hostprof import Capture, HostProfiler, capture
 from repro.obs.monitor import (
     DEFAULT_THRESHOLDS,
     Alert,
@@ -42,10 +52,13 @@ from repro.obs.trace import Observability, TraceEvent, TraceRecorder
 
 __all__ = [
     "Alert",
+    "Capture",
     "Counter",
     "DEFAULT_THRESHOLDS",
     "Gauge",
     "HealthMonitor",
+    "HostProfiler",
+    "capture",
     "Histogram",
     "MetricsRegistry",
     "Observability",

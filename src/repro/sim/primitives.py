@@ -25,11 +25,14 @@ class Condition:
 
     def __init__(self, name: str = "condition"):
         self.name = name
+        # Precomputed once: wait() runs on hot paths and the name is
+        # debug-only, so it must not cost an f-string per call.
+        self._wait_name = name + ".wait"
         self._waiters: list[Future] = []
 
     def wait(self) -> Future:
         """Future resolving at the next notify_all()."""
-        fut = Future(f"{self.name}.wait")
+        fut = Future(self._wait_name)
         self._waiters.append(fut)
         return fut
 
@@ -56,6 +59,7 @@ class Semaphore:
         if value < 0:
             raise SimulationError("semaphore initial value must be >= 0")
         self.name = name
+        self._acquire_name = name + ".acquire"
         self._value = value
         self._waiters: Deque[Future] = deque()
 
@@ -66,7 +70,7 @@ class Semaphore:
 
     def acquire(self) -> Future:
         """Future resolving once a unit is held."""
-        fut = Future(f"{self.name}.acquire")
+        fut = Future(self._acquire_name)
         if self._value > 0:
             self._value -= 1
             fut.resolve()
@@ -118,6 +122,7 @@ class Channel:
 
     def __init__(self, name: str = "channel"):
         self.name = name
+        self._recv_name = name + ".recv"
         self._items: Deque[Any] = deque()
         self._waiters: Deque[Future] = deque()
         self._closed: BaseException | None = None
@@ -142,7 +147,7 @@ class Channel:
 
     def recv(self) -> Future:
         """Future resolving with the next item (FIFO)."""
-        fut = Future(f"{self.name}.recv")
+        fut = Future(self._recv_name)
         if self._items:
             fut.resolve(self._items.popleft())
         elif self._closed is not None:

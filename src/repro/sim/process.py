@@ -27,7 +27,7 @@ class Process(Future):
     directly.
     """
 
-    __slots__ = ("sim", "_gen", "_waiting_on")
+    __slots__ = ("sim", "_gen", "_waiting_on", "_pending_value", "_pending_exc")
 
     def __init__(self, sim: "Simulator", gen: Generator[Future, Any, Any], name: str):
         super().__init__(name)
@@ -39,6 +39,8 @@ class Process(Future):
         self.sim = sim
         self._gen = gen
         self._waiting_on: Future | None = None
+        self._pending_value: Any = None
+        self._pending_exc: BaseException | None = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -78,13 +80,22 @@ class Process(Future):
         if self.resolved or self._waiting_on is not fut:
             return
         # Resume on a fresh event so callback chains cannot reorder the
-        # process ahead of same-instant events scheduled earlier.
+        # process ahead of same-instant events scheduled earlier. The
+        # wakeup payload is stashed on the process itself so the heap
+        # entry is a plain bound method, not a fresh closure per step.
         if fut.exception is not None:
-            error = fut.exception
-            self.sim.call_soon(lambda: self._step(None, error))
+            self._pending_value = None
+            self._pending_exc = fut.exception
         else:
-            value = fut.value
-            self.sim.call_soon(lambda: self._step(value, None))
+            self._pending_value = fut.value
+            self._pending_exc = None
+        self.sim._post(self._step_pending)
+
+    def _step_pending(self) -> None:
+        value, exc = self._pending_value, self._pending_exc
+        self._pending_value = None
+        self._pending_exc = None
+        self._step(value, exc)
 
     # -- control ----------------------------------------------------------
 

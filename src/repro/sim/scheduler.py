@@ -9,11 +9,20 @@ Determinism: events scheduled for the same instant run in scheduling
 order (a monotonically increasing tie-break counter), and all
 randomness flows through :class:`repro.sim.randomness.RngStreams`, so a
 run is a pure function of the seed.
+
+Host profiling: when ``sim.hostprof`` holds an active
+:class:`repro.obs.hostprof.HostProfiler`, the run loops time each event
+dispatch on the *host* clock and hand the callback to the profiler for
+attribution. The profiled loops are separate methods so the default
+path pays nothing; profiling reads host time only and never touches
+simulated state, so a profiled run is event-for-event identical to an
+unprofiled one (pinned by tests/obs/test_hostprof.py).
 """
 
 from __future__ import annotations
 
 import heapq
+from time import perf_counter_ns
 from typing import Any, Callable, Generator, Iterable
 
 from repro.errors import SimulationError
@@ -21,6 +30,12 @@ from repro.obs.trace import Observability
 from repro.sim.future import Future
 from repro.sim.process import Process
 from repro.sim.randomness import RngStreams
+
+#: Hooks invoked with every newly constructed Simulator. The host
+#: profiler's ``capture()`` registers here so benchmark helpers that
+#: build their own clusters (and therefore their own simulators) are
+#: still profiled. Empty in normal operation.
+_new_sim_hooks: list[Callable[["Simulator"], None]] = []
 
 
 class Timer:
@@ -44,12 +59,20 @@ class Simulator:
         self.now: float = 0.0
         self.seed = seed
         self.rng = RngStreams(seed)
-        self._heap: list[tuple[float, int, Timer, Callable[[], None]]] = []
+        # Heap entries are (when, seq, timer, fn); timer is None for the
+        # non-cancellable fast path (_post/_post_in), which skips the
+        # per-event Timer allocation entirely.
+        self._heap: list[tuple[float, int, Timer | None, Callable[[], None]]] = []
         self._sequence = 0
         self._processes: list[Process] = []
         self.trace: list[tuple[float, str]] | None = None
         #: Metrics registry + causal trace recorder (see repro.obs).
         self.obs = Observability(self)
+        #: Host-clock profiler (repro.obs.hostprof), attached explicitly
+        #: or via a _new_sim_hooks capture; None means the fast loops run.
+        self.hostprof = None
+        for hook in list(_new_sim_hooks):
+            hook(self)
 
     # -- scheduling ------------------------------------------------------
 
@@ -66,10 +89,26 @@ class Simulator:
         """Run ``fn()`` at the current instant, after pending same-time events."""
         return self.schedule(0.0, fn)
 
+    def _post(self, fn: Callable[[], None]) -> None:
+        """``call_soon`` without the Timer handle (hot path).
+
+        Process wakeups dominate the heap; none of them are ever
+        cancelled, so they skip the Timer allocation.
+        """
+        heapq.heappush(self._heap, (self.now, self._sequence, None, fn))
+        self._sequence += 1
+
+    def _post_in(self, delay: float, fn: Callable[[], None]) -> None:
+        """Non-cancellable ``schedule`` (hot path; caller validates delay)."""
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, None, fn))
+        self._sequence += 1
+
     def sleep(self, delay: float) -> Future:
         """A future that resolves after *delay* simulated milliseconds."""
-        fut = Future(f"sleep({delay})")
-        self.schedule(delay, fut.resolve)
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ms in the past")
+        fut = Future("sleep")
+        self._post_in(delay, fut.resolve)
         return fut
 
     def timeout(self, fut: Future, delay: float, reason: str = "timeout") -> Future:
@@ -81,7 +120,7 @@ class Simulator:
         """
         from repro.errors import TimeoutError as SimTimeout
 
-        wrapped = Future(f"timeout({fut.name})")
+        wrapped = Future("timeout")
         timer = self.schedule(
             delay, lambda: wrapped.fail_if_pending(SimTimeout(reason))
         )
@@ -111,7 +150,7 @@ class Simulator:
         """
         process = Process(self, gen, name)
         self._processes.append(process)
-        self.call_soon(process._step_initial)
+        self._post(process._step_initial)
         return process
 
     # -- running ---------------------------------------------------------
@@ -121,14 +160,18 @@ class Simulator:
 
         Returns the simulated time at which the run stopped.
         """
+        prof = self.hostprof
+        if prof is not None and prof.active:
+            return self._run_profiled(until, max_events)
         events = 0
-        while self._heap:
-            when, _, timer, fn = self._heap[0]
+        heap = self._heap
+        while heap:
+            when, _, timer, fn = heap[0]
             if until is not None and when > until:
                 self.now = until
                 return self.now
-            heapq.heappop(self._heap)
-            if timer.cancelled:
+            heapq.heappop(heap)
+            if timer is not None and timer.cancelled:
                 continue
             self.now = when
             fn()
@@ -142,17 +185,62 @@ class Simulator:
             self.now = until
         return self.now
 
+    def _run_profiled(self, until: float | None, max_events: int) -> float:
+        """:meth:`run` with host-clock attribution (same sim semantics)."""
+        prof = self.hostprof
+        events = 0
+        heap = self._heap
+        stride = prof.sample
+        k = prof._stride_pos
+        try:
+            while heap:
+                when, _, timer, fn = heap[0]
+                if until is not None and when > until:
+                    self.now = until
+                    return self.now
+                t0 = perf_counter_ns()
+                heapq.heappop(heap)
+                if timer is not None and timer.cancelled:
+                    prof.note_cancelled_pop(perf_counter_ns() - t0)
+                    continue
+                self.now = when
+                k += 1
+                if k >= stride:
+                    k = 0
+                    t1 = perf_counter_ns()
+                    fn()
+                    t2 = perf_counter_ns()
+                    prof.record_timed(fn, t1 - t0, t2 - t1, len(heap))
+                else:
+                    fn()
+                    prof.record_counted(fn)
+                events += 1
+                if events > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events at t={self.now:.3f} ms; "
+                        "likely a livelock in the simulated system"
+                    )
+            if until is not None and until > self.now:
+                self.now = until
+            return self.now
+        finally:
+            prof._stride_pos = k
+
     def run_until_complete(self, process: Process, max_events: int = 50_000_000) -> Any:
         """Run until *process* finishes; return its result (or raise)."""
+        prof = self.hostprof
+        if prof is not None and prof.active:
+            return self._run_until_complete_profiled(process, max_events)
         events = 0
+        heap = self._heap
         while not process.resolved:
-            if not self._heap:
+            if not heap:
                 raise SimulationError(
                     f"event queue drained but process {process.name!r} "
                     "never completed (deadlock)"
                 )
-            when, _, timer, fn = heapq.heappop(self._heap)
-            if timer.cancelled:
+            when, _, timer, fn = heapq.heappop(heap)
+            if timer is not None and timer.cancelled:
                 continue
             self.now = when
             fn()
@@ -163,6 +251,45 @@ class Simulator:
                 )
         return process.value
 
+    def _run_until_complete_profiled(self, process: Process, max_events: int) -> Any:
+        """Profiled twin of :meth:`run_until_complete`."""
+        prof = self.hostprof
+        events = 0
+        heap = self._heap
+        stride = prof.sample
+        k = prof._stride_pos
+        try:
+            while not process.resolved:
+                if not heap:
+                    raise SimulationError(
+                        f"event queue drained but process {process.name!r} "
+                        "never completed (deadlock)"
+                    )
+                t0 = perf_counter_ns()
+                when, _, timer, fn = heapq.heappop(heap)
+                if timer is not None and timer.cancelled:
+                    prof.note_cancelled_pop(perf_counter_ns() - t0)
+                    continue
+                self.now = when
+                k += 1
+                if k >= stride:
+                    k = 0
+                    t1 = perf_counter_ns()
+                    fn()
+                    t2 = perf_counter_ns()
+                    prof.record_timed(fn, t1 - t0, t2 - t1, len(heap))
+                else:
+                    fn()
+                    prof.record_counted(fn)
+                events += 1
+                if events > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events waiting on {process.name!r}"
+                    )
+            return process.value
+        finally:
+            prof._stride_pos = k
+
     # -- introspection ----------------------------------------------------
 
     def log(self, message: str) -> None:
@@ -172,7 +299,10 @@ class Simulator:
 
     def pending_events(self) -> int:
         """Number of scheduled, uncancelled events."""
-        return sum(1 for _, _, timer, _ in self._heap if not timer.cancelled)
+        return sum(
+            1 for _, _, timer, _ in self._heap
+            if timer is None or not timer.cancelled
+        )
 
     def alive_processes(self) -> Iterable[Process]:
         """Processes that have not yet finished."""
