@@ -99,7 +99,7 @@ def cmd_chaos(args) -> int:
 
     if args.list_scenarios:
         for scenario in SCENARIOS:
-            tag = "" if scenario.in_rotation else "  [negative, not in rotation]"
+            tag = "" if scenario.in_rotation else "  [not in rotation]"
             print(f"{scenario.name:<28}{scenario.description}{tag}")
         return 0
     known = {scenario.name for scenario in SCENARIOS}

@@ -107,6 +107,15 @@ class Scenario:
     #: repro.obs.thresholds_with) and/or a sampling cadence.
     monitor_thresholds: tuple | None = None
     monitor_interval_ms: float | None = None
+    #: Per-client lookup-cache capacity (0 = no cache). >0 also turns
+    #: on ``cache_coherence`` in the deployment config and switches the
+    #: shared-key workload to the cached loop, which records whether
+    #: each read was served from the cache or a server.
+    cache_size: int = 0
+    #: NEGATIVE control: cached clients acknowledge invalidations but
+    #: *ignore* them (see repro.directory.client), so the extended
+    #: linearizability checker must surface stale cache-served reads.
+    cache_nocoherence: bool = False
 
 
 @dataclass
@@ -301,6 +310,42 @@ def build_retry_storm(cluster, rng, start_ms, window_ms) -> FaultPlan:
     return _policy_plan(start_ms, window_ms, policies)
 
 
+def build_stale_read_hunt(cluster, rng, start_ms, window_ms) -> FaultPlan:
+    """The cache-coherence gauntlet. Three stressors aimed squarely at
+    the invalidation protocol (docs/PROTOCOL.md "Client cache
+    coherence"): lose a fifth of invalidation records (writes must fall
+    back to waiting out the read lease), lose a fifth of the acks
+    (same, from the other side), and lag server replies so lookup
+    replies race the invalidations for entries they refill. On top, the
+    sequencer-crash nemesis forces view changes mid-window, exercising
+    the membership fence. Any hole shows up as a stale cache-served
+    read, which the linearizability checker flags."""
+    addrs = _dir_addresses(cluster)
+    policies = [
+        Drop(
+            "cache.invaldrop",
+            LinkFilter(src=tuple(addrs), kind="cache.inval"),
+            probability=0.20,
+        ),
+        Drop(
+            "cache.ackdrop",
+            LinkFilter(dst=tuple(addrs), kind="cache.invack"),
+            probability=0.20,
+        ),
+        Delay(
+            "cache.replylag",
+            LinkFilter(src=tuple(addrs), kind="rpc.reply"),
+            probability=0.10,
+            min_ms=100.0,
+            max_ms=1_000.0,
+        ),
+    ]
+    plan = build_nemesis("sequencer_crash", cluster, rng, start_ms, window_ms)
+    for event in _policy_plan(start_ms, window_ms, policies).events:
+        plan.add(event)
+    return plan
+
+
 def build_grand_tour(cluster, rng, start_ms, window_ms) -> FaultPlan:
     """Everything at once, mildly: random crash/partition schedule on
     top of low-grade loss, duplication, and reordering."""
@@ -470,6 +515,35 @@ SCENARIOS: list[Scenario] = [
         in_rotation=False,
     ),
     Scenario(
+        "stale_read_hunt",
+        "coherent-cache gauntlet: invalidation/ack loss + reply lag + "
+        "sequencer crashes against cached clients on hot shared keys — "
+        "any stale cache-served read fails the linearizability checker",
+        build_stale_read_hunt,
+        retry_safe=True,
+        shared_keys=True,
+        n_clients=4,
+        cache_size=64,
+        flight_recorder_capacity=65_536,
+        # Out of rotation (run explicitly by the cache-smoke CI job):
+        # inserting it would remap which seed runs which rotation
+        # scenario and invalidate the pinned chaos-smoke baselines.
+        in_rotation=False,
+    ),
+    Scenario(
+        "cache_nocoherence",
+        "NEGATIVE: the same gauntlet with invalidations acknowledged "
+        "but ignored — the checker must catch the stale cached reads",
+        build_stale_read_hunt,
+        retry_safe=True,
+        shared_keys=True,
+        n_clients=4,
+        cache_size=64,
+        cache_nocoherence=True,
+        flight_recorder_capacity=65_536,
+        in_rotation=False,
+    ),
+    Scenario(
         "majority_lost",
         "NEGATIVE: crash a majority and leave it down — the correct "
         "outcome is detected unavailability, not stale answers",
@@ -517,6 +591,9 @@ def _build_cluster(scenario: Scenario, seed: int):
         resilience=resilience,
         spares=scenario.spares,
         dedup_enabled=scenario.dedup,
+        # Only cache scenarios flip the coherence machinery on, so
+        # every other scenario keeps the exact pre-cache wire behavior.
+        **({"cache_coherence": True} if scenario.cache_size else {}),
     )
 
 
@@ -700,7 +777,71 @@ def _run(
                 yield sim.sleep(500.0)
         return tag
 
-    if scenario.shared_keys:
+    def cached_client_loop(index, tag):
+        # The shared-key loop, read-heavy and cache-enabled: four hot
+        # names, two lookups for every write, every lookup recording
+        # whether the client's coherent cache or a server answered it.
+        # The verdict runs both through the same register model — a
+        # cache-served read is held to exactly the server-read bar.
+        client = cluster.add_client(
+            tag,
+            rpc_timings=RpcTimings(
+                reply_timeout_ms=4_000.0, max_attempts=8, locate_attempts=10
+            ),
+            retry_safe=scenario.retry_safe,
+            cache_size=scenario.cache_size,
+            cache_nocoherence=scenario.cache_nocoherence,
+        )
+        crng = sim.rng.stream(f"chaos.client.{tag}")
+        counter = 0
+        while sim.now < deadline:
+            name = f"shared-{crng.randrange(4)}"
+            key = (1, name)
+            kind = crng.choice(
+                ["append", "delete", "lookup", "lookup", "lookup", "lookup"]
+            )
+            t0 = sim.now
+            counter += 1
+            try:
+                if kind == "append":
+                    value = dataclasses.replace(
+                        root, check=(index + 1) * 1_000_000 + counter
+                    )
+                    yield from client.append_row(root, name, (value,))
+                    history.record(tag, "append", key, value, t0, sim.now)
+                elif kind == "delete":
+                    yield from client.delete_row(root, name)
+                    history.record(tag, "delete", key, None, t0, sim.now)
+                else:
+                    got = yield from client.lookup(root, name)
+                    history.record(
+                        tag,
+                        "lookup",
+                        key,
+                        got,
+                        t0,
+                        sim.now,
+                        source=(
+                            "cache"
+                            if client.last_lookup_from_cache
+                            else "server"
+                        ),
+                    )
+            except DirectoryError as exc:
+                history.record(tag, kind + "!", key, repr(exc), t0, sim.now)
+            except ReproError:
+                if kind in ("append", "delete"):
+                    ambiguous = value if kind == "append" else None
+                    history.record(tag, kind + "?", key, ambiguous, t0, sim.now)
+                yield sim.sleep(500.0)
+        return tag
+
+    if scenario.cache_size:
+        processes = [
+            sim.spawn(cached_client_loop(i, f"c{i}"), f"chaos-client-{i}")
+            for i in range(n_clients)
+        ]
+    elif scenario.shared_keys:
         processes = [
             sim.spawn(shared_client_loop(i, f"c{i}"), f"chaos-client-{i}")
             for i in range(n_clients)
@@ -756,6 +897,14 @@ def _run(
         check_resilience=scenario.expect_resilience_restored,
     )
     problems.extend(report.problems())
+
+    if scenario.cache_size and history.cache_served_reads() == 0:
+        # A cache scenario whose clients never served a read locally
+        # proves nothing about coherence — fail it as vacuous rather
+        # than let a configuration regression pass silently.
+        problems.append(
+            "cache scenario recorded no cache-served reads (vacuous run)"
+        )
 
     # The health-monitor contract. "Inside the fault window" allows a
     # short tail past the last scheduled fault: effects like heartbeat
@@ -874,6 +1023,7 @@ def dump_flight_recorder(
                         "value": repr(e.value),
                         "start_ms": round(e.start_ms, 3),
                         "end_ms": round(e.end_ms, 3),
+                        "source": e.source,
                     }
                 )
                 for e in verdict.history_events

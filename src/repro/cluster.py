@@ -144,6 +144,8 @@ class BaseCluster:
         retry_safe: bool = False,
         client_id: str | None = None,
         retry_rounds: int | None = None,
+        cache_size: int = 0,
+        cache_nocoherence: bool = False,
     ) -> DirectoryClient:
         """Attach a new client machine and return its DirectoryClient.
 
@@ -151,6 +153,12 @@ class BaseCluster:
         mutating operations are stamped with (client_id, seqno) and
         blindly resent on RPC failure (see docs/PROTOCOL.md, "Session
         semantics").
+
+        ``cache_size>0`` gives the client a coherent lookup cache (the
+        deployment must run with ``cache_coherence=True`` or lookups
+        simply never hit); ``cache_nocoherence=True`` is the chaos
+        suite's stale-read control (acknowledge-but-ignore
+        invalidations) and must never be used outside it.
         """
         address = f"{self.name}.client.{client_name}"
         transport = Transport(self.sim, self.network.attach(address))
@@ -167,6 +175,12 @@ class BaseCluster:
             retry_safe=retry_safe,
             client_id=client_id,
             **({"retry_rounds": retry_rounds} if retry_rounds is not None else {}),
+            **({"cache_size": cache_size} if cache_size else {}),
+            **(
+                {"cache_nocoherence": cache_nocoherence}
+                if cache_nocoherence
+                else {}
+            ),
         )
         self.clients[client_name] = client
         return client

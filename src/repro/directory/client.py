@@ -14,10 +14,13 @@ imperfection shapes the throughput curves of the paper's Fig. 8.
 from __future__ import annotations
 
 from repro.amoeba.capability import Capability, Port
+from repro.directory.cache import MISS, LookupCache
+from repro.directory.coherence import KIND_INVACK, KIND_INVAL
 from repro.directory.model import DEFAULT_COLUMNS
 from repro.directory.operations import (
     AppendRow,
     ChmodRow,
+    CoherentLookup,
     CreateDir,
     DeleteDir,
     DeleteRow,
@@ -27,13 +30,19 @@ from repro.directory.operations import (
     ReplaceSet,
     SessionOp,
 )
-from repro.errors import LocateError, NoMajority, RpcError, ServiceDown
+from repro.errors import LocateError, NoMajority, PathError, RpcError, ServiceDown
 from repro.rpc.client import RpcClient, RpcTimings
 from repro.rpc.transport import Transport
 
 #: Rounds of end-to-end resends a retry-safe client performs on top of
-#: the RPC layer's own fail-over attempts.
+#: the RPC layer's own fail-over attempts (total RPC-layer requests =
+#: 1 initial send + this many resends; see _request_retry_safe).
 RETRY_SAFE_ROUNDS = 3
+
+#: CPU cost charged for a lookup served from the local cache
+#: (simulated ms) — a hash probe, not an RPC. Non-zero so cache-hit
+#: loops still yield to the event loop every iteration.
+CACHE_HIT_COST_MS = 0.01
 
 
 class DirectoryClient:
@@ -56,6 +65,8 @@ class DirectoryClient:
         retry_safe: bool = False,
         client_id: str | None = None,
         retry_rounds: int = RETRY_SAFE_ROUNDS,
+        cache_size: int = 0,
+        cache_nocoherence: bool = False,
     ):
         self.transport = transport
         self.port = port
@@ -65,18 +76,65 @@ class DirectoryClient:
         self.retry_rounds = retry_rounds
         self.client_id = client_id if client_id is not None else str(transport.address)
         self._session_seqno = 0
-        self.resends = 0  # end-to-end retry rounds actually used
+        self.resends = 0  # end-to-end resends actually used
+        # Coherent lookup cache (docs/PROTOCOL.md "Client cache
+        # coherence"). cache_size=0 (the default) keeps this client
+        # byte-identical to one predating the cache: lookups go out as
+        # plain LookupSet, no handler registers, no cache.* frame ever
+        # appears on the wire. With a cache, lookups go out as
+        # CoherentLookup, replies grant per-replica leases, and the
+        # servers push invalidations which we must acknowledge.
+        self.cache: LookupCache | None = None
+        self.cache_served = 0  # lookup_set calls answered locally
+        self.last_lookup_from_cache = False
+        #: Per-replica lease expiry, computed from the *send* time of
+        #: the request whose reply granted it (send ≤ grant, so we
+        #: always expire no later than the server thinks we do).
+        self._server_leases: dict = {}
+        #: Highest invalidation seqno ever received: a reply whose
+        #: epoch is older must not fill the cache (its values may
+        #: predate an already-acknowledged invalidation).
+        self._inval_floor = -1
+        #: When False (the chaos suite's cache_nocoherence control and
+        #: nothing else), invalidations are acknowledged but *ignored*
+        #: — the client keeps serving doomed entries, which the
+        #: extended linearizability checker must flag as stale reads.
+        self._coherent = not cache_nocoherence
+        if cache_size > 0:
+            sim = transport.sim
+            self.cache = LookupCache(
+                cache_size,
+                registry=sim.obs.registry,
+                node=str(transport.address),
+            )
+            self._obs = sim.obs
+            transport.register(KIND_INVAL, self._on_cache_inval)
 
     # -- raw request ------------------------------------------------------
 
-    def request(self, op: DirectoryOp, reply_timeout_ms: float | None = None):
-        """Send one operation and return the server's result."""
+    def request(
+        self,
+        op: DirectoryOp,
+        reply_timeout_ms: float | None = None,
+        spread: bool = False,
+    ):
+        """Send one operation and return the server's result.
+
+        *spread* routes the request to a deterministically-random
+        cached server instead of the first-HEREIS pin; only coherent
+        lookups use it (cache-off clients keep the Fig. 8 heuristic
+        bit-for-bit).
+        """
         self.operations_sent += 1
         if self.retry_safe and not op.is_read:
             result = yield from self._request_retry_safe(op, reply_timeout_ms)
             return result
         result = yield from self.rpc.trans(
-            self.port, op, size=op.wire_size(), reply_timeout_ms=reply_timeout_ms
+            self.port,
+            op,
+            size=op.wire_size(),
+            reply_timeout_ms=reply_timeout_ms,
+            spread=spread,
         )
         return result
 
@@ -93,14 +151,24 @@ class DirectoryClient:
         count as definitive — "group failure during update" is replied
         for updates that may already be r-safe, so they are retried
         like any lost reply.
+
+        Round accounting (made explicit after the historical
+        off-by-one): the RPC layer is asked ``1 + retry_rounds`` times
+        — one initial send plus ``retry_rounds`` resends — and *every*
+        failed attempt is followed by one jittered backoff sleep,
+        including the last. A reply timeout means the operation may
+        still commit server-side, so the final backoff lets in-flight
+        applies land before we surface the ambiguous RpcError to the
+        caller (previously the final round's failure consumed no
+        sleep, and ``retry_rounds`` silently meant "total attempts").
         """
         self._session_seqno += 1
         wrapped = SessionOp(op, self.client_id, self._session_seqno)
         last_error: Exception | None = None
-        for round_no in range(self.retry_rounds):
-            if round_no:
+        attempts = 1 + self.retry_rounds
+        for attempt in range(attempts):
+            if attempt:
                 self.resends += 1
-                yield self.sim_sleep_backoff(round_no)
             try:
                 result = yield from self.rpc.trans(
                     self.port,
@@ -111,9 +179,10 @@ class DirectoryClient:
                 return result
             except (RpcError, LocateError, ServiceDown, NoMajority) as failure:
                 last_error = failure
+                yield self.sim_sleep_backoff(attempt + 1)
         raise RpcError(
-            f"retry-safe request {op!r} failed after "
-            f"{self.retry_rounds} rounds: {last_error!r}"
+            f"retry-safe request {op!r} failed after {attempts} attempts "
+            f"({self.retry_rounds} resends): {last_error!r}"
         )
 
     def sim_sleep_backoff(self, round_no: int):
@@ -159,9 +228,101 @@ class DirectoryClient:
         return result
 
     def lookup_set(self, items):
-        """Look up a set of (dir capability, name) pairs."""
-        results = yield from self.request(LookupSet(tuple(items)))
+        """Look up a set of (dir capability, name) pairs.
+
+        With a cache (``cache_size > 0``) the whole set is served
+        locally iff every pair is cached under a current replica
+        lease; otherwise one :class:`CoherentLookup` goes remote (to a
+        spread-chosen replica) and the reply refills the cache. With
+        no cache this is exactly the pre-cache wire behaviour.
+        """
+        items = tuple(items)
+        if self.cache is None:
+            results = yield from self.request(LookupSet(items))
+            return results
+        results = yield from self._lookup_coherent(items)
         return results
+
+    def _lookup_coherent(self, items):
+        sim = self.transport.sim
+        keys = [
+            (cap.object_number, cap.rights, name) for cap, name in items
+        ]
+        values = self._serve_from_cache(keys)
+        if values is not None:
+            self.cache.count_hit()
+            self.cache_served += 1
+            self.last_lookup_from_cache = True
+            # A local probe, but still a yield point: closed-loop
+            # callers must not monopolize the event loop on hits.
+            yield sim.sleep(CACHE_HIT_COST_MS)
+            return values
+        self.cache.count_miss()
+        self.last_lookup_from_cache = False
+        sent_at = sim.now
+        reply = yield from self.request(CoherentLookup(items), spread=True)
+        if not isinstance(reply, dict):
+            # Talking to a server without coherence enabled: behave
+            # like an uncached client (never fill from a reply that
+            # grants no lease).
+            return reply
+        results = reply["results"]
+        server = reply["server"]
+        expiry = sent_at + reply["lease_ms"]
+        if expiry > self._server_leases.get(server, 0.0):
+            self._server_leases[server] = expiry
+        if reply["epoch"] >= self._inval_floor:
+            # Fill guard: a reply computed at an older epoch than an
+            # invalidation we have already acknowledged could
+            # resurrect the very entry that invalidation evicted.
+            # Skipping the fill costs a future miss, never correctness.
+            for key, value in zip(keys, results):
+                self.cache.put(key, value, server)
+        return list(results)
+
+    def _serve_from_cache(self, keys):
+        """Values for *keys* if all are cached under live leases."""
+        now = self.transport.sim.now
+        values = []
+        for key in keys:
+            entry = self.cache.get(key)
+            if entry is MISS:
+                return None
+            value, server = entry
+            if now >= self._server_leases.get(server, 0.0):
+                # The granting replica's lease lapsed (it may have
+                # crashed, or we simply went quiet): its invalidations
+                # no longer reach us, so the entry is unservable.
+                self.cache.drop(key)
+                return None
+            values.append(value)
+        return values
+
+    def _on_cache_inval(self, packet) -> None:
+        """``cache.inval`` push from a replica applying a write."""
+        payload = packet.payload
+        seqno = payload["seqno"]
+        if self._coherent:
+            if seqno > self._inval_floor:
+                self._inval_floor = seqno
+            dropped = 0
+            for obj, name in payload["keys"]:
+                dropped += self.cache.invalidate(obj, name)
+            if self._obs.tracer.enabled:
+                self._obs.tracer.emit(
+                    str(self.transport.address), "cache", "cache.inval.recv",
+                    lineage=("cacheinv", str(packet.src), seqno),
+                    seqno=seqno, keys=len(payload["keys"]), dropped=dropped,
+                )
+        # Always acknowledge — even the nocoherence control does (a
+        # silent client would wedge the write barrier into a lease-
+        # expiry stall instead of demonstrating a stale read).
+        self.transport.send(
+            packet.src,
+            KIND_INVACK,
+            {"client": self.transport.address, "seqno": seqno},
+            64,
+        )
 
     def replace_set(self, items):
         """Replace capabilities in a set of rows, indivisibly."""
@@ -191,6 +352,12 @@ class DirectoryClient:
         returns the final capability (which may name a directory, a
         file, or any other object), or None if any component is
         missing.
+
+        Path grammar (see :func:`_components`): empty separators
+        collapse, so ``""`` and ``"/"`` resolve to *start* itself and
+        ``"//a///b/"`` equals ``"a/b"``. Malformed paths (non-string,
+        or a ``"."``/``".."`` component — the graph has no self/parent
+        links) raise :class:`~repro.errors.PathError`.
         """
         current = start
         for component in _components(path):
@@ -206,6 +373,12 @@ class DirectoryClient:
         Each missing component costs one create_dir plus one
         append_row (two indivisible operations — a concurrent racer
         may win the append, in which case we adopt its directory).
+
+        Follows the same path grammar as :meth:`resolve_path`: empty
+        separators collapse (``make_path(root, "//a///")`` creates
+        just ``a``; ``""`` and ``"/"`` create nothing and return
+        *start*), and malformed paths raise
+        :class:`~repro.errors.PathError` before any operation is sent.
         """
         from repro.errors import AlreadyExists
 
@@ -227,4 +400,26 @@ class DirectoryClient:
 
 
 def _components(path: str) -> list[str]:
-    return [part for part in path.split("/") if part]
+    """Split a '/'-separated path into its non-empty components.
+
+    The grammar, previously implicit, now pinned by unit tests:
+
+    * ``""`` and ``"/"`` have no components — they name the starting
+      directory itself;
+    * runs of separators and leading/trailing slashes collapse, so
+      ``"//a///b/"`` == ``"a/b"`` (there are no empty row names);
+    * ``"."`` and ``".."`` are not path operators in Amoeba's
+      directory graph (a directory does not know its parents — it may
+      have many) and raise :class:`~repro.errors.PathError`, as does a
+      non-string path.
+    """
+    if not isinstance(path, str):
+        raise PathError(f"path must be a string, not {type(path).__name__}")
+    parts = [part for part in path.split("/") if part]
+    for part in parts:
+        if part in (".", ".."):
+            raise PathError(
+                f"{part!r} is not a valid path component: the directory "
+                "graph has no self/parent links"
+            )
+    return parts

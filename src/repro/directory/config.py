@@ -69,6 +69,29 @@ class ServiceConfig:
     #: When False, duplicate session operations re-execute — only the
     #: chaos suite's non-vacuity runs ever turn this off.
     dedup_enabled: bool = True
+    #: Client cache coherence (docs/PROTOCOL.md "Client cache
+    #: coherence"). Off by default: servers answer plain ``LookupSet``
+    #: exactly as before and the wire behaviour is byte-identical to a
+    #: deployment without this feature. When on, servers grant read
+    #: leases on ``CoherentLookup`` replies, push invalidation records
+    #: to leased clients as writes apply, and hold each write's reply
+    #: until every replica's leased clients have acknowledged the
+    #: invalidations for it (the write barrier that makes cached reads
+    #: linearizable).
+    cache_coherence: bool = False
+    #: How long a client may serve lookups from its cache after the
+    #: last coherent reply it received (simulated ms). Bounds how long
+    #: a write can stall on a crashed/vanished client or replica.
+    cache_lease_ms: float = 2_000.0
+    #: Period of the coherence housekeeping sweep: lease expiry and
+    #: clean-seqno exchange between replicas (simulated ms).
+    cache_clean_exchange_ms: float = 50.0
+    #: Extra margin added to the view-change write fence beyond
+    #: ``cache_lease_ms``, covering the failure-detection lag during
+    #: which a replica outside the new view may still have been
+    #: granting leases (same residual window as the paper's §3.1
+    #: minority-read argument).
+    cache_fence_slack_ms: float = 500.0
 
     @property
     def port(self) -> Port:

@@ -17,6 +17,15 @@ After a crash the board's contents survive; recovery replays the log
 on top of the disk state (replay is idempotent: records whose effect
 already reached disk fail validation deterministically and are
 skipped).
+
+Client cache coherence (docs/PROTOCOL.md) is inherited unchanged from
+:class:`GroupDirectoryServer`: every hook — lease grants on coherent
+reads, invalidation emission at the apply point, the write barrier
+before the reply — lives in the shared request/apply paths, not in
+the ``_persist_*`` methods this class overrides, so an NVRAM
+deployment with ``cache_coherence=True`` behaves identically (the
+invalidation round trip overlaps the NVRAM append instead of the disk
+flush).
 """
 
 from __future__ import annotations

@@ -145,6 +145,27 @@ class LookupSet(DirectoryOp):
 
 
 @dataclass(frozen=True)
+class CoherentLookup(LookupSet):
+    """A :class:`LookupSet` whose reply carries coherence metadata.
+
+    Cache-enabled clients send these instead of plain ``LookupSet``.
+    The server answers with an envelope ``{"results": [...], "epoch":
+    update_seqno, "lease_ms": ...}`` — the results are computed by the
+    exact same state-machine query (``DirectoryState.query`` dispatches
+    on ``isinstance(op, LookupSet)``), but the reply additionally
+    piggybacks the replica's applied update seqno (the cache epoch) and
+    grants the client a read lease: until the lease expires the server
+    promises to push an invalidation record for every write that could
+    affect a cached entry, and writes do not complete until those
+    invalidations are acknowledged (docs/PROTOCOL.md).
+    """
+
+    def wire_size(self) -> int:
+        # A plain LookupSet plus the lease/epoch framing.
+        return super().wire_size() + 16
+
+
+@dataclass(frozen=True)
 class ReplaceSet(DirectoryOp):
     """Replace capabilities in a set of rows, indivisibly.
 
@@ -193,6 +214,28 @@ def unwrap(op: DirectoryOp) -> DirectoryOp:
     return op.op if isinstance(op, SessionOp) else op
 
 
+def invalidation_keys(op: DirectoryOp) -> tuple:
+    """The ``(object_number, name-or-None)`` cache keys *op* dirties.
+
+    This is the invalidation record a replica pushes to its leased
+    clients when it applies *op* (docs/PROTOCOL.md "Client cache
+    coherence"). ``(obj, name)`` invalidates that one row's cached
+    lookups (under every rights mask); ``(obj, None)`` invalidates
+    every cached row of the directory (used for DeleteDir, after which
+    any lookup through the dead capability must go remote to observe
+    the NotFound). Reads and CreateDir (a brand-new object nothing can
+    have cached) dirty nothing.
+    """
+    op = unwrap(op)
+    if isinstance(op, (AppendRow, ChmodRow, DeleteRow)):
+        return ((op.cap.object_number, op.name),)
+    if isinstance(op, ReplaceSet):
+        return tuple((cap.object_number, name) for cap, name, _ in op.items)
+    if isinstance(op, DeleteDir):
+        return ((op.cap.object_number, None),)
+    return ()
+
+
 #: Operation name -> class, for logs and workload configuration.
 OPERATIONS = {
     "create_dir": CreateDir,
@@ -204,3 +247,7 @@ OPERATIONS = {
     "lookup_set": LookupSet,
     "replace_set": ReplaceSet,
 }
+# CoherentLookup is deliberately absent: OPERATIONS mirrors the
+# paper's Fig. 2 request set, and a coherent lookup is the same
+# logical operation as lookup_set — the envelope is client-cache
+# protocol, not API surface.

@@ -47,6 +47,19 @@ class RpcTimings:
     #: simulation RNG (stream "rpc.backoff.<machine>"), so retry
     #: storms decorrelate without breaking determinism.
     retry_jitter: float = 0.5
+    #: Port-cache entries populated by an actual locate go stale after
+    #: this long: the next _pick_server forgets the port and
+    #: re-locates, so restarted/recovered replicas re-enter the cache
+    #: and the first-HEREIS responder pin stops skewing load forever.
+    #: 0 disables aging. Entries pinned directly into the kernel's
+    #: port_cache (tests, benches) carry no locate stamp and never age.
+    locate_ttl_ms: float = 20_000.0
+    #: On a NOTHERE bounce, accelerate the entry's expiry to at most
+    #: this far away — a bouncing deployment re-locates within ~1 s
+    #: instead of waiting out the full TTL (rate-limited by being an
+    #: expiry, not an immediate flush: at most one extra locate per
+    #: refresh interval however many NOTHEREs arrive).
+    nothere_refresh_ms: float = 1_000.0
 
 
 class RpcClient:
@@ -73,12 +86,19 @@ class RpcClient:
         body: Any,
         size: int = 128,
         reply_timeout_ms: float | None = None,
+        spread: bool = False,
     ):
         """Perform one RPC transaction; returns the reply body.
 
         Raises whatever exception the server handler raised, or
         :class:`RpcError`/:class:`LocateError` when no server could be
         reached. Use as ``reply = yield from client.trans(...)``.
+
+        *spread* picks a deterministically-random cached server per
+        attempt instead of the first-HEREIS pin — read fan-out for
+        cache-enabled directory clients (any replica may answer a
+        coherent lookup). Default off: the paper's Fig. 8 locate
+        heuristic, bit-for-bit.
         """
         timeout = reply_timeout_ms or self.timings.reply_timeout_ms
         overhead = self.transport.nic.network.latency.cpu.client_overhead_ms
@@ -86,7 +106,7 @@ class RpcClient:
             yield self.sim.sleep(overhead)
         last_error: Exception | None = None
         for attempt in range(self.timings.max_attempts):
-            server = yield from self._pick_server(port)
+            server = yield from self._pick_server(port, spread=spread)
             txid = self._kernel.new_txid()
             fut = self._kernel.send_request(server, port, txid, body, size)
             try:
@@ -95,6 +115,7 @@ class RpcClient:
                 self.bounces += 1
                 self._c_retries.inc()
                 self._kernel.drop_cached_server(port, bounce.server)
+                self._accelerate_relocate(port)
                 last_error = bounce
                 yield self.sim.sleep(self._backoff_ms(attempt))
                 continue
@@ -139,6 +160,7 @@ class RpcClient:
     def forget_port(self, port: Port) -> None:
         """Drop all cached servers for *port* (forces a fresh locate)."""
         self._kernel.port_cache.pop(port, None)
+        self._kernel.port_expiry.pop(port, None)
 
     def cached_servers(self, port: Port) -> list:
         """Snapshot of the current port-cache entry (first = preferred)."""
@@ -146,16 +168,53 @@ class RpcClient:
 
     # -- locate ------------------------------------------------------------
 
-    def _pick_server(self, port: Port):
-        """The preferred server for *port*, locating if the cache is empty."""
+    def _pick_server(self, port: Port, spread: bool = False):
+        """The preferred server for *port*, locating if the cache is
+        empty or its locate stamp has aged past ``locate_ttl_ms``
+        (the staleness bugfix: the first-HEREIS pin used to live until
+        a hard failure, so one replica absorbed a client's whole
+        lifetime of reads and restarted replicas never came back)."""
         servers = self._kernel.cached_servers(port)
-        if servers:
-            return servers[0]
-        yield from self._locate(port)
-        servers = self._kernel.cached_servers(port)
+        if servers and self._cache_expired(port):
+            # Forget before re-locating: HEREIS only appends servers
+            # the cache doesn't already hold, so without the forget a
+            # re-locate could never refresh the responder order.
+            self._kernel.port_cache.pop(port, None)
+            self._kernel.port_expiry.pop(port, None)
+            servers = []
         if not servers:
-            raise LocateError(f"locate for port {port} found no servers")
+            yield from self._locate(port)
+            servers = self._kernel.cached_servers(port)
+            if not servers:
+                raise LocateError(f"locate for port {port} found no servers")
+        if spread and len(servers) > 1:
+            index = self.sim.rng.stream(
+                f"rpc.spread.{self.transport.address}"
+            ).randrange(len(servers))
+            return servers[index]
         return servers[0]
+
+    def _cache_expired(self, port: Port) -> bool:
+        if self.timings.locate_ttl_ms <= 0:
+            return False
+        stamp = self._kernel.port_expiry.get(port)
+        # No stamp: the entry was pinned directly (tests/benches) and
+        # never ages.
+        return stamp is not None and self.sim.now >= stamp
+
+    def _accelerate_relocate(self, port: Port) -> None:
+        """A NOTHERE bounce hints the cached responder order is stale
+        (busy or reconfiguring deployment); pull the entry's expiry in
+        so the next pick after ``nothere_refresh_ms`` re-locates."""
+        t = self.timings
+        if t.locate_ttl_ms <= 0:
+            return
+        stamp = self._kernel.port_expiry.get(port)
+        if stamp is None:
+            return  # pinned entry: leave it alone
+        target = self.sim.now + t.nothere_refresh_ms
+        if target < stamp:
+            self._kernel.port_expiry[port] = target
 
     def _locate(self, port: Port):
         for _ in range(self.timings.locate_attempts):
@@ -164,6 +223,10 @@ class RpcClient:
                 yield self.sim.timeout(
                     fut, self.timings.locate_timeout_ms, f"locate {port}"
                 )
+                if self.timings.locate_ttl_ms > 0:
+                    self._kernel.port_expiry[port] = (
+                        self.sim.now + self.timings.locate_ttl_ms
+                    )
                 return
             except SimTimeout:
                 continue

@@ -63,6 +63,11 @@ class RpcKernel:
         self.sim = transport.sim
         self.attached = True
         self.port_cache: dict[Port, list[Any]] = {}
+        #: Absolute expiry time (sim ms) of each port-cache entry that
+        #: was filled by an actual locate; entries without one (pinned
+        #: directly by tests/benches) never age. Maintained by
+        #: RpcClient (locate stamps it, TTL expiry clears it).
+        self.port_expiry: dict[Port, float] = {}
         self._servers: dict[Port, "ServerEndpoint"] = {}
         self._pending: dict[tuple, Future] = {}
         self._locate_waiters: dict[int, Future] = {}

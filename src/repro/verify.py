@@ -33,6 +33,13 @@ class HistoryEvent:
     value: Any  # capability written, or lookup result
     start_ms: float
     end_ms: float
+    #: Where a lookup's value came from: ``"server"`` (a remote RPC
+    #: answered it) or ``"cache"`` (the client's coherent lookup cache
+    #: served it without any network round trip). Cache-served reads
+    #: are checked by exactly the same register model as server reads —
+    #: that is the point: the coherence protocol must make them
+    #: indistinguishable (docs/PROTOCOL.md "Client cache coherence").
+    source: str = "server"
 
 
 @dataclass
@@ -41,10 +48,21 @@ class HistoryRecorder:
 
     events: list[HistoryEvent] = field(default_factory=list)
 
-    def record(self, client, kind, key, value, start_ms, end_ms) -> None:
+    def record(
+        self, client, kind, key, value, start_ms, end_ms, source="server"
+    ) -> None:
         self.events.append(
-            HistoryEvent(client, kind, key, value, start_ms, end_ms)
+            HistoryEvent(client, kind, key, value, start_ms, end_ms, source)
         )
+
+    def cache_served_reads(self) -> int:
+        """How many recorded lookups were served from a client cache.
+
+        Chaos scenarios that exist to hunt stale cached reads use this
+        as a non-vacuity check: a run in which no read ever came from a
+        cache proves nothing about coherence.
+        """
+        return sum(1 for e in self.events if e.source == "cache")
 
     def by_client(self) -> dict[str, list[HistoryEvent]]:
         out: dict[str, list[HistoryEvent]] = {}

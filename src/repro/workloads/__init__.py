@@ -17,6 +17,7 @@ latency and throughput over a measurement window.
 
 from repro.workloads.clients import ClosedLoopClient
 from repro.workloads.generators import (
+    ZipfianNames,
     append_delete_once,
     lookup_once,
     mixed_once,
@@ -27,6 +28,7 @@ from repro.workloads.metrics import Metrics
 __all__ = [
     "ClosedLoopClient",
     "Metrics",
+    "ZipfianNames",
     "append_delete_once",
     "lookup_once",
     "mixed_once",

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.cluster import GroupServiceCluster
+from repro.directory.client import _components
+from repro.errors import PathError
 
 
 @pytest.fixture
@@ -50,6 +52,77 @@ class TestResolvePath:
             return same == root, slashy == sub
 
         assert cluster.run_process(work()) == (True, True)
+
+
+class TestPathGrammar:
+    """The component grammar, pinned (see _components)."""
+
+    def test_empty_and_root_have_no_components(self):
+        assert _components("") == []
+        assert _components("/") == []
+        assert _components("///") == []
+
+    def test_separator_runs_collapse(self):
+        assert _components("//a///b/") == ["a", "b"]
+        assert _components("a/b") == ["a", "b"]
+
+    @pytest.mark.parametrize("bad", [".", "..", "a/./b", "a/../b", "x/.."])
+    def test_dot_components_raise(self, bad):
+        with pytest.raises(PathError):
+            _components(bad)
+
+    @pytest.mark.parametrize("bad", [None, 42, b"a/b", ["a", "b"]])
+    def test_non_string_paths_raise(self, bad):
+        with pytest.raises(PathError):
+            _components(bad)
+
+    def test_dotted_names_are_ordinary_rows(self):
+        # Only exact "." / ".." are operators-that-aren't; names that
+        # merely contain dots are legal row names.
+        assert _components(".hidden/a.b/...") == [".hidden", "a.b", "..."]
+
+
+class TestPathErrors:
+    """Malformed paths fail fast through the public API — before any
+    operation is put on the wire — and PathError is consistent across
+    resolve_path and make_path."""
+
+    @pytest.mark.parametrize("method", ["resolve_path", "make_path"])
+    def test_dot_dot_raises_before_any_rpc(self, cluster, method):
+        client = cluster.add_client("c")
+        root = cluster.root_capability
+        sent_before = client.operations_sent
+
+        def work():
+            yield from getattr(client, method)(root, "a/../b")
+
+        with pytest.raises(PathError):
+            cluster.run_process(work())
+        assert client.operations_sent == sent_before
+
+    @pytest.mark.parametrize("method", ["resolve_path", "make_path"])
+    def test_non_string_path_raises(self, cluster, method):
+        client = cluster.add_client("c")
+        root = cluster.root_capability
+
+        def work():
+            yield from getattr(client, method)(root, None)
+
+        with pytest.raises(PathError):
+            cluster.run_process(work())
+
+    def test_make_path_of_root_creates_nothing(self, cluster):
+        client = cluster.add_client("c")
+        root = cluster.root_capability
+
+        def work():
+            same = yield from client.make_path(root, "/")
+            listing = yield from client.list_dir(root)
+            return same == root, listing
+
+        same, listing = cluster.run_process(work())
+        assert same
+        assert listing == []  # no stray directories appeared
 
 
 class TestMakePath:

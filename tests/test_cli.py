@@ -30,7 +30,8 @@ class TestChaosCli:
         assert status == 0
         assert "sequencer_crash" in out
         assert "majority_lost" in out
-        assert "negative" in out  # flagged as out of rotation
+        assert "[not in rotation]" in out  # out-of-rotation scenarios flagged
+        assert "NEGATIVE" in out  # controls say so in their descriptions
 
     def test_single_seed_smoke_run_passes(self, capsys):
         status = main(
