@@ -244,6 +244,138 @@ def rolling_faults(cluster, rng, start_ms, window_ms) -> FaultPlan:
     return plan
 
 
+def _restart_if_down(index: int):
+    """Guarded restart: no-op when the server is already up (the
+    remediation controller may have beaten the schedule to it) or the
+    site was evicted meanwhile."""
+
+    def fire(cluster):
+        server = cluster.servers[index]
+        if server is None:
+            return f"restart server {index}: site evicted (no-op)"
+        if server.alive:
+            return f"restart server {index}: already up (no-op)"
+        cluster.restart_server(index)
+        return f"restart server {index}"
+
+    return fire
+
+
+def _crash_and_rot(index: int, blocks: int, extents: int):
+    """Crash one site's directory server, rot its admin partition and
+    Bullet extents while it is down, and bounce its Bullet server so
+    the file cache is cold when recovery reads the damage."""
+
+    def fire(cluster):
+        site = cluster.sites[index]
+        cluster.crash_server(index)
+        rng = cluster.sim.rng.stream(f"fault.bitrot.{index}")
+        hit = site.disk.inject_bit_rot(rng, blocks, region=site.partition.region)
+        erng = cluster.sim.rng.stream(f"fault.extentrot.{index}")
+        rotted = site.disk.corrupt_extent(erng, extents)
+        site.crash_bullet_server()
+        site.restart_bullet_server()
+        return (
+            f"crash server {index} + rot blocks {hit} + "
+            f"{len(rotted)} extent(s), bullet cache dropped"
+        )
+
+    return fire
+
+
+def _rot_live_site(index: int, blocks: int, extents: int):
+    """Rot a RUNNING replica's storage: admin-partition bit rot plus
+    Bullet extent rot with a bullet-server bounce (cold cache), so the
+    scrubber — not a restart — must find and repair everything."""
+
+    def fire(cluster):
+        site = cluster.sites[index]
+        rng = cluster.sim.rng.stream(f"fault.bitrot.{index}")
+        hit = site.disk.inject_bit_rot(rng, blocks, region=site.partition.region)
+        erng = cluster.sim.rng.stream(f"fault.extentrot.{index}")
+        rotted = site.disk.corrupt_extent(erng, extents)
+        site.crash_bullet_server()
+        site.restart_bullet_server()
+        return (
+            f"live rot at site {index}: blocks {hit}, "
+            f"{len(rotted)} extent(s), bullet cache dropped"
+        )
+
+    return fire
+
+
+@nemesis("bitrot_gauntlet")
+def bitrot_gauntlet(cluster, rng, start_ms, window_ms) -> FaultPlan:
+    """The storage-corruption gauntlet: every silent-storage fault in
+    the catalogue (docs/CHAOS.md), aimed at all three repair paths.
+
+    Phase timing is fractional in *window_ms* (smoke-scaled windows
+    keep the shape). In order:
+
+    1. a **torn write** tears the tail off a live replica's next
+       commit-batch flush — the background scrubber must notice the
+       RAM-mirror/disk divergence and rewrite the tail;
+    2. a **crash point** power-cuts a second replica at a block
+       boundary inside an admin flush; **lost** and **misdirected**
+       single-block writes are armed against the same disk so its
+       recovery's own shadow-page writes misfire too — the post-
+       recovery scrub pass must converge the partition anyway;
+    3. a third replica crashes and, while it is down, its admin
+       partition takes **bit rot** and its Bullet extents **rot** with
+       a cold file cache — recovery must quarantine the damage, lose
+       the donor election, and refetch via the Fig. 6 state transfer;
+    4. late **live rot** (admin blocks + a Bullet extent) hits the
+       first replica again, closing with pure scrub-and-repair.
+
+    Guarded restarts make the schedule cooperate with remediation:
+    whoever gets there first wins, the other no-ops. The plan leaves
+    every machine restarted; with ``integrity=True`` the run must end
+    with every acknowledged block back on disk (``check_durability``),
+    while the ``bitrot_integrity_off`` control must provably fail it.
+    """
+    plan = FaultPlan()
+    n = len(cluster.sites)
+    live = rng.randrange(n)
+    cut_victim = (live + 1) % n
+    rot_victim = (live + 2) % n
+
+    # Phase 1: tear the tail off the live replica's next batch flush.
+    plan.torn_write(start_ms + window_ms * 0.06, live, keep_blocks=1)
+
+    # Phase 2: power-cut inside a flush; recovery's own single-block
+    # writes then get lost/misdirected (armed now, consumed at restart).
+    t_cut = start_ms + window_ms * 0.20
+    plan.crash_point(t_cut, cut_victim, cut_after=1)
+    plan.lost_writes(t_cut + 10.0, cut_victim, count=1)
+    plan.misdirected_writes(t_cut + 10.0, cut_victim, count=1)
+    plan.intervene(
+        start_ms + window_ms * 0.38,
+        f"restart server {cut_victim}",
+        _restart_if_down(cut_victim),
+    )
+
+    # Phase 3: crash + rot-while-down + cold bullet cache; the guarded
+    # restart forces the quarantine/donor-transfer recovery path.
+    plan.intervene(
+        start_ms + window_ms * 0.50,
+        f"crash server {rot_victim} and rot its storage",
+        _crash_and_rot(rot_victim, blocks=3, extents=2),
+    )
+    plan.intervene(
+        start_ms + window_ms * 0.65,
+        f"restart server {rot_victim}",
+        _restart_if_down(rot_victim),
+    )
+
+    # Phase 4: late live rot — scrub-and-repair with no restart at all.
+    plan.intervene(
+        start_ms + window_ms * 0.80,
+        f"rot live server {live}'s storage",
+        _rot_live_site(live, blocks=2, extents=1),
+    )
+    return plan
+
+
 @nemesis("majority_lost")
 def majority_lost(cluster, rng, start_ms, window_ms) -> FaultPlan:
     """UNRECOVERABLE on purpose: crash a majority and leave it down.

@@ -116,6 +116,15 @@ class Scenario:
     #: *ignore* them (see repro.directory.client), so the extended
     #: linearizability checker must surface stale cache-served reads.
     cache_nocoherence: bool = False
+    #: Checksummed self-identifying storage envelopes on every site
+    #: disk plus the background scrubber (repro.storage.integrity).
+    #: Off by default so every pre-existing scenario keeps the exact
+    #: legacy on-disk layout and trace timeline.
+    integrity: bool = False
+    #: Run check_durability at verify time: no corrupt bytes may ever
+    #: have been served as good data, and every operational replica's
+    #: mapped admin blocks must hold their acknowledged contents.
+    check_durability: bool = False
 
 
 @dataclass
@@ -203,6 +212,7 @@ class ScenarioVerdict:
                 ),
                 "duplicate_applies": list(self.report.duplicate_applies),
                 "resilience_problems": list(self.report.resilience_problems),
+                "durability_problems": list(self.report.durability_problems),
             }
         return out
 
@@ -544,6 +554,47 @@ SCENARIOS: list[Scenario] = [
         in_rotation=False,
     ),
     Scenario(
+        "bitrot_gauntlet",
+        "storage-corruption gauntlet: torn/lost/misdirected writes, a "
+        "mid-flush power cut, and bit rot on crashed AND live replicas "
+        "— checksummed envelopes + scrub-and-repair must keep every "
+        "acknowledged block durable",
+        _nemesis_builder("bitrot_gauntlet"),
+        retry_safe=True,
+        shared_keys=True,
+        n_clients=3,
+        window_ms=35_000.0,
+        integrity=True,
+        check_durability=True,
+        resilience=1,
+        spares=1,
+        remediation=True,
+        flight_recorder_capacity=65_536,
+        expect_alerts=True,
+        # Out of rotation (run explicitly by the bitrot-smoke CI job):
+        # inserting it would remap which seed runs which rotation
+        # scenario and invalidate the pinned chaos-smoke baselines.
+        in_rotation=False,
+    ),
+    Scenario(
+        "bitrot_integrity_off",
+        "NEGATIVE: the same gauntlet on the legacy unchecksummed "
+        "layout with no scrubber or remediation — check_durability "
+        "must catch the silently-served corruption",
+        _nemesis_builder("bitrot_gauntlet"),
+        retry_safe=True,
+        shared_keys=True,
+        n_clients=3,
+        window_ms=35_000.0,
+        integrity=False,
+        check_durability=True,
+        resilience=1,
+        spares=0,
+        remediation=False,
+        flight_recorder_capacity=65_536,
+        in_rotation=False,
+    ),
+    Scenario(
         "majority_lost",
         "NEGATIVE: crash a majority and leave it down — the correct "
         "outcome is detected unavailability, not stale answers",
@@ -594,6 +645,9 @@ def _build_cluster(scenario: Scenario, seed: int):
         # Only cache scenarios flip the coherence machinery on, so
         # every other scenario keeps the exact pre-cache wire behavior.
         **({"cache_coherence": True} if scenario.cache_size else {}),
+        # Same discipline for storage integrity: only opted-in
+        # scenarios change the on-disk layout.
+        **({"integrity": True} if scenario.integrity else {}),
     )
 
 
@@ -895,6 +949,7 @@ def _run(
         private_keys=not scenario.shared_keys,
         trace_events=cluster.obs.tracer.events(),
         check_resilience=scenario.expect_resilience_restored,
+        durability=scenario.check_durability,
     )
     problems.extend(report.problems())
 

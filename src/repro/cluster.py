@@ -46,6 +46,7 @@ class Site:
             f"{cluster.name}.disk{index}",
             latency=cluster.latency.disk,
             blocks=ADMIN_PARTITION_START + ADMIN_PARTITION_BLOCKS,
+            integrity=getattr(cluster, "integrity", False),
         )
         self.dir_transport = Transport(sim, network.attach(self.dir_address))
         self.bullet_transport = Transport(sim, network.attach(self.bullet_address))
@@ -285,6 +286,13 @@ class GroupServiceCluster(BaseCluster):
     ):
         super().__init__(
             name, seed, latency, sim, network, loss_probability, link_policies
+        )
+        #: Checksummed storage envelopes on every site disk (must be
+        #: known before the sites — and their disks — are built).
+        self.integrity = (
+            config.integrity
+            if config is not None
+            else bool(config_overrides.get("integrity", False))
         )
         self.sites = [Site(self, i) for i in range(n_servers)]
         if config is None:
@@ -545,6 +553,7 @@ class NvramServiceCluster(GroupServiceCluster):
                 self.sim,
                 capacity_bytes=self._nvram_bytes or PAPER_NVRAM_BYTES,
                 name=f"{self.name}.nvram{site.index}",
+                integrity=self.integrity,
             )
             site.nvram = nvram  # the board survives server restarts
         admin = AdminPartition(
@@ -580,6 +589,11 @@ class RpcServiceCluster(BaseCluster):
     ):
         super().__init__(
             name, seed, latency, sim, network, loss_probability, link_policies
+        )
+        self.integrity = (
+            config.integrity
+            if config is not None
+            else bool(config_overrides.get("integrity", False))
         )
         self.sites = [Site(self, i) for i in range(2)]
         if config is None:

@@ -27,7 +27,7 @@ from repro.directory.session import (
     decode_session_record,
     encode_session_record,
 )
-from repro.errors import StorageError
+from repro.errors import CorruptBlock, StorageError
 from repro.storage.disk import RawPartition
 
 COMMIT_BLOCK = 0
@@ -111,6 +111,14 @@ class AdminPartition:
         self._free_session_blocks: list[int] = list(
             range(self._session_area_start, partition.length)
         )
+        #: Blocks (and pseudo-entries, see :meth:`quarantine_object`)
+        #: that failed their integrity check at boot. A non-empty
+        #: quarantine means this disk cannot certify completeness, so
+        #: :meth:`highest_seqno` claims zero — the replica never wins
+        #: the donor election and the Fig. 6 state transfer rewrites
+        #: the damaged objects from an operational peer. Recovery
+        #: clears the quarantine after the final seal.
+        self.quarantined_blocks: list[int] = []
 
     # -- boot ---------------------------------------------------------------
 
@@ -120,15 +128,34 @@ class AdminPartition:
         Returns the decoded commit block; the object-table mirror is
         rebuilt as a side effect.
         """
-        raw = yield from self.partition.read_block(COMMIT_BLOCK, lineage=lineage)
-        self.commit = CommitBlock.from_bytes(raw, self.n_servers)
+        self.quarantined_blocks = []
+        try:
+            raw = yield from self.partition.read_block(COMMIT_BLOCK, lineage=lineage)
+            self.commit = CommitBlock.from_bytes(raw, self.n_servers)
+        except CorruptBlock:
+            # A corrupt commit block is indistinguishable from a crash
+            # mid-recovery: claim nothing (the paper's recovering rule)
+            # and let the donor transfer rebuild this replica.
+            self.commit = CommitBlock(
+                tuple(True for _ in range(self.n_servers)), 0, True
+            )
+            self.quarantined_blocks.append(COMMIT_BLOCK)
         self.entries = {}
         self.entry_checks = {}
         self._block_of = {}
         self._free_blocks = []
         for index in range(FIRST_ENTRY_BLOCK, self._session_area_start):
-            raw = self.partition.peek_block(index)  # sequential scan,
-            # charged as one sweep below rather than per block
+            try:
+                raw = self.partition.peek_block(index)  # sequential scan,
+                # charged as one sweep below rather than per block
+            except CorruptBlock:
+                # The entry (if it was one) is unreadable: quarantine
+                # it and reuse the block. The donor transfer rewrites
+                # whatever directory lived here; the scrubber blanks
+                # the rot if the block stays free.
+                self.quarantined_blocks.append(index)
+                self._free_blocks.append(index)
+                continue
             if raw[:4] == b"DENT":
                 obj = int.from_bytes(raw[4:7], "big")
                 cap = Capability.from_bytes(raw[7:23])
@@ -143,7 +170,12 @@ class AdminPartition:
         self._session_block_map = {}
         self._free_session_blocks = []
         for index in range(self._session_area_start, self.partition.length):
-            decoded = decode_session_record(self.partition.peek_block(index))
+            try:
+                decoded = decode_session_record(self.partition.peek_block(index))
+            except CorruptBlock:
+                self.quarantined_blocks.append(index)
+                self._free_session_blocks.append(index)
+                continue
             if decoded is None:
                 self._free_session_blocks.append(index)
                 continue
@@ -350,8 +382,70 @@ class AdminPartition:
         a server that sets it during its own, still-running transfer
         passes ``ignore_recovering=True`` where it knows its in-RAM
         state is coherent.
+
+        Also zero while anything is quarantined: a disk that lost
+        entries to detected corruption cannot certify completeness, so
+        it must never win the donor election (same reasoning as the
+        recovering flag, and the same ``ignore_recovering`` escape
+        applies once the transfer has repaired RAM).
         """
-        if self.commit.recovering and not ignore_recovering:
+        if (self.commit.recovering or self.quarantined_blocks) \
+                and not ignore_recovering:
             return 0
         entry_max = max((s for _, s in self.entries.values()), default=0)
         return max(entry_max, self.commit.seqno)
+
+    # -- integrity ----------------------------------------------------------
+
+    def quarantine_object(self, obj: int) -> None:
+        """Quarantine one directory whose *Bullet file* was detected
+        corrupt at rebuild time: drop it from the table mirror so the
+        donor transfer rewrites it, and poison :meth:`highest_seqno`
+        like any other quarantined block."""
+        block = self._block_of.pop(obj, None)
+        if block is not None:
+            self._free_blocks.append(block)
+            self.quarantined_blocks.append(block)
+        else:
+            self.quarantined_blocks.append(-obj)
+        self.entries.pop(obj, None)
+        self.entry_checks.pop(obj, None)
+
+    def clear_quarantine(self) -> None:
+        """Recovery repaired every quarantined object (final seal)."""
+        self.quarantined_blocks = []
+
+    def verify_block(self, index: int, expected: bytes) -> bool:
+        """Zero-time audit: does partition block *index* hold exactly
+        *expected*? A failed integrity check counts as a mismatch —
+        this is the scrubber's detection primitive."""
+        try:
+            return self.partition.peek_block(index) == expected
+        except CorruptBlock:
+            return False
+
+    def expected_blocks(self) -> dict[int, bytes]:
+        """What every mapped partition block should hold right now,
+        straight from the RAM mirrors (the scrubber's audit source).
+
+        Mirrors are updated only after their flush completes and with
+        no intervening yield, so at any scheduling point the mapped
+        disk blocks must equal this — any difference is bit rot, a
+        lost/misdirected write, or a torn batch tail. Blocks mid-
+        allocation (``_block_of`` set, mirror not yet) are omitted;
+        the next pass audits them. The shadow block is transient
+        journal space and is never mapped."""
+        expected = {COMMIT_BLOCK: self.commit.to_bytes()}
+        for obj, block in self._block_of.items():
+            entry = self.entries.get(obj)
+            if entry is None:
+                continue  # flush in flight
+            cap, seqno = entry
+            expected[block] = self._encode_entry(
+                obj, cap, seqno, self.entry_checks.get(obj, 0)
+            )
+        for client_id, block in self._session_block_map.items():
+            entry = self.session_entries.get(client_id)
+            if entry is not None:
+                expected[block] = encode_session_record(client_id, entry)
+        return expected

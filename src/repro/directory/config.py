@@ -92,6 +92,19 @@ class ServiceConfig:
     #: granting leases (same residual window as the paper's §3.1
     #: minority-read argument).
     cache_fence_slack_ms: float = 500.0
+    #: Storage integrity (docs/PROTOCOL.md "Storage integrity"). Off by
+    #: default: blocks are stored raw and the on-disk layout stays
+    #: byte-identical to the paper-era code for the Fig. 7/9
+    #: experiments. When on, every persisted block/record is wrapped in
+    #: a self-identifying checksummed envelope, reads of damaged data
+    #: fail loudly as ``CorruptBlock``, corrupt replicas quarantine the
+    #: affected objects and re-fetch them from an operational peer, and
+    #: each server runs a background scrubber that audits its admin
+    #: partition and Bullet extents against the live RAM state.
+    integrity: bool = False
+    #: Period of the background scrub pass (simulated ms; only runs
+    #: when ``integrity`` is on, 0 disables the scrubber entirely).
+    scrub_interval_ms: float = 1_000.0
 
     @property
     def port(self) -> Port:

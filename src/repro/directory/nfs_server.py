@@ -78,7 +78,7 @@ class NfsDirectoryServer:
                     handle.reply(result, size=96)
                 else:
                     op = self._prepare(op)
-                    yield self._disk.acquire()
+                    yield from self._disk.acquire_gen()
                     try:
                         yield self.sim.sleep(latency.nfs_update_ms)
                         try:

@@ -279,10 +279,21 @@ class NvramDirectoryServer(GroupDirectoryServer):
 
     def best_known_seqno(self) -> int:
         """The NVRAM board survives crashes, so its logged updates
-        count toward this server's recovery sequence number."""
+        count toward this server's recovery sequence number — except
+        records a battery blip damaged (when integrity checking is
+        on), and never while the disk itself is quarantined: the board
+        only holds the unflushed tail, so it cannot make up for
+        entries the quarantined disk may have lost."""
         base = super().best_known_seqno()
+        if self.admin.quarantined_blocks:
+            return base
         logged = max(
-            (record.payload[1] for record in self.nvram.snapshot()), default=0
+            (
+                record.payload[1]
+                for record in self.nvram.snapshot()
+                if not (record.corrupt and self.nvram.integrity)
+            ),
+            default=0,
         )
         return max(base, logged)
 
@@ -302,6 +313,13 @@ class NvramDirectoryServer(GroupDirectoryServer):
             op, seqno = record.payload
             if seqno <= disk_floor:
                 continue  # already reflected in the disk state
+            if not self.nvram.validate(record):
+                # Battery blip, integrity on: the record is damaged
+                # and is dropped rather than replayed; redelivery or a
+                # donor transfer restores the update. Without
+                # integrity checking validate() replays it as-is and
+                # counts a silently corrupt replay.
+                continue
             try:
                 _, effects = self.state.apply(op)
                 self._dirty.update(effects.touched)

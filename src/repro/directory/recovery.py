@@ -250,6 +250,10 @@ def run_recovery(server):
             seqno=max(server.admin.commit.seqno, server.state.update_seqno),
             next_object=server.state.next_object,
         )
+        # Everything quarantined at boot has been rewritten (by the
+        # donor transfer, or from our own rebuilt image when we were
+        # the freshest copy): the disk certifies completeness again.
+        server.admin.clear_quarantine()
         return RecoveryOutcome(
             rounds=rounds,
             donor=donor,

@@ -246,7 +246,7 @@ class RpcDirectoryServer:
                 str(self.me), "dir", "dir.write.recv", op=type(op).__name__
             )
         op = self._prepare_write(op)
-        yield self._update_mutex.acquire()
+        yield from self._update_mutex.acquire_gen()
         try:
             accepted = yield from self._notify_peer_with_retry(op)
             if not accepted:
@@ -321,7 +321,7 @@ class RpcDirectoryServer:
                     self._update_mutex.release()
                 yield self.sim.sleep(rng.uniform(2.0, 8.0))
                 if self.index > 0:
-                    yield self._update_mutex.acquire()
+                    yield from self._update_mutex.acquire_gen()
             except (RpcError, LocateError):
                 # Peer dead or partitioned: continue alone (the RPC
                 # design explicitly does not tolerate partitions).

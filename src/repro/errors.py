@@ -79,6 +79,18 @@ class DiskFailure(StorageError):
     """The underlying (simulated) disk has failed and lost its data."""
 
 
+class CorruptBlock(StorageError):
+    """A stored block, extent, or NVRAM record failed its integrity check.
+
+    Only raised when the owning device runs with ``integrity`` enabled:
+    every persisted payload is wrapped in a self-identifying checksummed
+    envelope (see :mod:`repro.storage.integrity`), so bit rot, torn or
+    misdirected writes surface loudly here instead of being decoded as
+    garbage. Replicas treat this like any other storage fault: quarantine
+    the damaged object and re-fetch authoritative state from a peer.
+    """
+
+
 class NoSuchFile(StorageError):
     """A Bullet file capability does not name a stored file."""
 

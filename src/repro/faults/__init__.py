@@ -1,38 +1,52 @@
 """Composable fault injection for whole-cluster scenarios.
 
 A :class:`~repro.faults.plan.FaultPlan` is a timed script of crash,
-restart, partition, heal, and disk-failure events applied to a cluster
-— the tool behind the chaos tests and the recovery benchmarks.
-:class:`~repro.faults.plan.RandomFaultPlan` generates seeded random
-schedules for property-style soak testing.
+restart, partition, heal, disk-failure, and storage-corruption events
+applied to a cluster — the tool behind the chaos tests and the recovery
+benchmarks. :class:`~repro.faults.plan.RandomFaultPlan` generates seeded
+random schedules for property-style soak testing. The storage-fault
+catalogue (bit rot, torn/lost/misdirected writes, NVRAM blips, crash
+points) is documented in docs/CHAOS.md.
 """
 
 from repro.faults.plan import (
+    BitRot,
     Crash,
+    CrashPoint,
     DiskFailure,
-    DiskFailure_,
+    ExtentRot,
     FaultEvent,
     FaultPlan,
     Heal,
     InstallLinkPolicy,
     Intervention,
+    LostWrites,
+    MisdirectedWrites,
+    NvramBlip,
     Partition,
     RandomFaultPlan,
     RemoveLinkPolicy,
     Restart,
+    TornWrite,
 )
 
 __all__ = [
+    "BitRot",
     "Crash",
+    "CrashPoint",
     "DiskFailure",
-    "DiskFailure_",  # deprecated alias
+    "ExtentRot",
     "FaultEvent",
     "FaultPlan",
     "Heal",
     "InstallLinkPolicy",
     "Intervention",
+    "LostWrites",
+    "MisdirectedWrites",
+    "NvramBlip",
     "Partition",
     "RandomFaultPlan",
     "RemoveLinkPolicy",
     "Restart",
+    "TornWrite",
 ]

@@ -81,8 +81,127 @@ class DiskFailure(FaultEvent):
         return f"disk failure at site {self.site}"
 
 
-#: Deprecated alias (pre-1.0 name); use :class:`DiskFailure`.
-DiskFailure_ = DiskFailure
+@dataclass(frozen=True)
+class BitRot(FaultEvent):
+    """Rot stored blocks on one site's disk (seeded, self-describing).
+
+    *area* narrows the target: ``"admin"`` hits the directory service's
+    admin partition, ``"any"`` any written block. The damaged indexes
+    are chosen with the cluster RNG stream ``fault.bitrot.<site>``.
+    """
+
+    site: int = 0
+    blocks: int = 1
+    area: str = "any"
+
+    def apply(self, cluster) -> str:
+        site = cluster.sites[self.site]
+        region = site.partition.region if self.area == "admin" else None
+        rng = cluster.sim.rng.stream(f"fault.bitrot.{self.site}")
+        hit = site.disk.inject_bit_rot(rng, self.blocks, region=region)
+        return f"bit rot at site {self.site}: blocks {hit}"
+
+
+@dataclass(frozen=True)
+class ExtentRot(FaultEvent):
+    """Rot stored extents (Bullet files) on one site's disk."""
+
+    site: int = 0
+    extents: int = 1
+
+    def apply(self, cluster) -> str:
+        site = cluster.sites[self.site]
+        rng = cluster.sim.rng.stream(f"fault.extentrot.{self.site}")
+        hit = site.disk.corrupt_extent(rng, self.extents)
+        return f"extent rot at site {self.site}: {len(hit)} extent(s)"
+
+
+@dataclass(frozen=True)
+class TornWrite(FaultEvent):
+    """Arm a torn write: the next multi-block admin flush on the site
+    persists only its first *keep_blocks* blocks but reports success."""
+
+    site: int = 0
+    keep_blocks: int = 1
+
+    def apply(self, cluster) -> str:
+        site = cluster.sites[self.site]
+        site.disk.arm_torn_write(self.keep_blocks, region=site.partition.region)
+        return f"armed torn write at site {self.site} (keep {self.keep_blocks})"
+
+
+@dataclass(frozen=True)
+class LostWrites(FaultEvent):
+    """Arm lost writes: the next *count* single-block writes into the
+    site's admin partition report success without persisting anything."""
+
+    site: int = 0
+    count: int = 1
+
+    def apply(self, cluster) -> str:
+        site = cluster.sites[self.site]
+        site.disk.arm_lost_writes(self.count, region=site.partition.region)
+        return f"armed {self.count} lost write(s) at site {self.site}"
+
+
+@dataclass(frozen=True)
+class MisdirectedWrites(FaultEvent):
+    """Arm misdirected writes: the next *count* single-block writes into
+    the site's admin partition land one block away from their target."""
+
+    site: int = 0
+    count: int = 1
+
+    def apply(self, cluster) -> str:
+        site = cluster.sites[self.site]
+        site.disk.arm_misdirected_writes(
+            self.count, region=site.partition.region
+        )
+        return f"armed {self.count} misdirected write(s) at site {self.site}"
+
+
+@dataclass(frozen=True)
+class NvramBlip(FaultEvent):
+    """Battery blip: corrupt the newest *records* records on the site's
+    NVRAM board (no-op on sites without one)."""
+
+    site: int = 0
+    records: int = 1
+
+    def apply(self, cluster) -> str:
+        nvram = getattr(cluster.sites[self.site], "nvram", None)
+        if nvram is None:
+            return f"nvram blip at site {self.site}: no board (no-op)"
+        hit = nvram.blip(self.records)
+        return f"nvram blip at site {self.site}: corrupted {hit} record(s)"
+
+
+@dataclass(frozen=True)
+class CrashPoint(FaultEvent):
+    """Power-cut the site inside its next admin-partition flush.
+
+    *cut_after* blocks of the flush persist, then the whole machine
+    dies (``crash_server``) before the server can update its RAM
+    mirrors — the restarted server must reconcile the torn intention
+    from disk alone (the paper's Fig. 5/6 recovery argument, exercised
+    mid-write).
+    """
+
+    site: int = 0
+    cut_after: int = 1
+
+    def apply(self, cluster) -> str:
+        site_index = self.site
+        site = cluster.sites[site_index]
+        site.disk.arm_crash_point(
+            lambda: cluster.crash_server(site_index),
+            cut_after=self.cut_after,
+            region=site.partition.region,
+        )
+        return (
+            f"armed crash point at site {site_index} "
+            f"(power cut after {self.cut_after} block(s))"
+        )
 
 
 @dataclass(frozen=True)
@@ -149,6 +268,28 @@ class FaultPlan:
 
     def disk_failure(self, at_ms: float, site: int) -> "FaultPlan":
         return self.add(DiskFailure(at_ms, site))
+
+    def bit_rot(self, at_ms: float, site: int, blocks: int = 1,
+                area: str = "any") -> "FaultPlan":
+        return self.add(BitRot(at_ms, site, blocks, area))
+
+    def extent_rot(self, at_ms: float, site: int, extents: int = 1) -> "FaultPlan":
+        return self.add(ExtentRot(at_ms, site, extents))
+
+    def torn_write(self, at_ms: float, site: int, keep_blocks: int = 1) -> "FaultPlan":
+        return self.add(TornWrite(at_ms, site, keep_blocks))
+
+    def lost_writes(self, at_ms: float, site: int, count: int = 1) -> "FaultPlan":
+        return self.add(LostWrites(at_ms, site, count))
+
+    def misdirected_writes(self, at_ms: float, site: int, count: int = 1) -> "FaultPlan":
+        return self.add(MisdirectedWrites(at_ms, site, count))
+
+    def nvram_blip(self, at_ms: float, site: int, records: int = 1) -> "FaultPlan":
+        return self.add(NvramBlip(at_ms, site, records))
+
+    def crash_point(self, at_ms: float, site: int, cut_after: int = 1) -> "FaultPlan":
+        return self.add(CrashPoint(at_ms, site, cut_after))
 
     def install_policy(self, at_ms: float, policy) -> "FaultPlan":
         return self.add(InstallLinkPolicy(at_ms, policy))

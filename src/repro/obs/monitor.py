@@ -28,6 +28,10 @@ Signals (see docs/OBSERVABILITY.md, "Health monitoring"):
                             change (crash, partition, rejoin) churns views
                             on the surviving side, while a steady group
                             adopts none at all
+``storage.corrupt_rate``    corruption evidence per second on one node's
+                            durable storage — detected checksum failures
+                            plus (on legacy, integrity-off media) corrupt
+                            bytes silently served or replayed
 ========================    =================================================
 
 Gauges are sampled by *area differencing*: the window mean over
@@ -100,6 +104,25 @@ DEFAULT_THRESHOLDS = (
         "group.view_churn", 1.9, 0.1, "views/s",
         "group view adoptions per second (membership churn)",
     ),
+    # One corruption event inside a sampling window (2/s at the default
+    # cadence) trips the alert — a single flipped block is already a
+    # remediation-worthy fact, and fault-free runs sit at exactly zero.
+    # The signal sums every corruption counter a node's storage exposes:
+    # detections (disk.corrupt_detected, nvram.corrupt_records) and the
+    # integrity-off evidence of silently served damage
+    # (disk.corrupt_served, nvram.corrupt_replayed).
+    Threshold(
+        "storage.corrupt_rate", 1.9, 0.1, "events/s",
+        "storage-corruption evidence (detections + corrupt bytes served)",
+    ),
+)
+
+#: Counter metrics summed into one node's ``storage.corrupt_rate``.
+CORRUPTION_METRICS = (
+    "disk.corrupt_detected",
+    "disk.corrupt_served",
+    "nvram.corrupt_records",
+    "nvram.corrupt_replayed",
 )
 
 
@@ -209,6 +232,7 @@ class HealthMonitor:
             "group.retrans_requested",
             "session.cache_hits",
             "group.views_adopted",
+            *CORRUPTION_METRICS,
         ):
             for node, counter in self.registry.find_counters(metric):
                 self._counter_marks[(node, metric)] = counter.value
@@ -253,6 +277,19 @@ class HealthMonitor:
                     if dt_ms > 0.0
                     else 0.0
                 )
+        corrupt: dict = {}
+        for metric in CORRUPTION_METRICS:
+            for node, counter in self.registry.find_counters(metric):
+                prev = self._counter_marks.get((node, metric), counter.value)
+                self._counter_marks[(node, metric)] = counter.value
+                rate = (
+                    (counter.value - prev) * 1000.0 / dt_ms
+                    if dt_ms > 0.0
+                    else 0.0
+                )
+                corrupt[node] = corrupt.get(node, 0.0) + rate
+        for node, rate in corrupt.items():
+            samples[(node, "storage.corrupt_rate")] = rate
         now = self.sim.now
         for node, gauge in self.registry.find_gauges("group.last_heartbeat_ms"):
             samples[(node, "group.heartbeat_staleness")] = now - gauge.value

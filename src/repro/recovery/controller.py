@@ -3,7 +3,7 @@
 The health monitor (PR 5) gave the simulation eyes — six hysteresis
 alert signals derived from the metrics registry — and this module
 gives it hands. A :class:`RemediationController` subscribes to the
-monitor's alert stream and executes three policies against the
+monitor's alert stream and executes four policies against the
 cluster's elastic-membership API:
 
 * **restart in place** — a replica whose machine is down (its
@@ -19,7 +19,13 @@ cluster's elastic-membership API:
   (``group.retrans_rate``) raise the group's resilience degree one
   step as an ordered group operation; once the network has been quiet
   for a policy window the controller scales back to the declared
-  degree, so ``check_resilience_restored`` holds at the end of a run.
+  degree, so ``check_resilience_restored`` holds at the end of a run;
+* **scrub, then evict** — a ``storage.corrupt_rate`` alert (the node
+  is the damaged disk or NVRAM board) kicks an immediate scrub pass
+  on the owning server; if the alert stays active past the policy
+  window — the medium keeps producing rot faster than it can be
+  repaired — the replica is evicted and re-replicated from the spare
+  pool like a persistently unreachable one.
 
 Every action is rate-limited (per-run budgets), cooled down (per node
 or per policy), and audited: each one appends to
@@ -43,6 +49,10 @@ from repro.errors import ReproError
 STALENESS = "group.heartbeat_staleness"
 #: Alert signal that drives the resilience-scaling policy.
 RETRANS = "group.retrans_rate"
+#: Alert signal that drives the scrub/evict corruption policy. Its
+#: node is the damaged *storage device* (disk or NVRAM board), not a
+#: server address — the controller maps it back to the owning site.
+CORRUPTION = "storage.corrupt_rate"
 
 
 @dataclass(frozen=True)
@@ -79,6 +89,16 @@ class RemediationPolicy:
     #: degree returns to the declared value.
     scale_back_after_quiet_ms: float = 5_000.0
 
+    # -- corruption (scrub, then evict) --
+    #: Minimum gap between scrub-now kicks of the same node.
+    scrub_cooldown_ms: float = 4_000.0
+    #: Total scrub-now kicks allowed per run.
+    max_scrubs: int = 8
+    #: How long a node's corruption alert must stay continuously
+    #: active (scrubbing evidently not winning) before the replica is
+    #: evicted and re-replicated from the spare pool.
+    corrupt_evict_after_ms: float = 6_000.0
+
 
 class RemediationController:
     """Subscribe to HealthMonitor alerts; drive the cluster back to
@@ -96,8 +116,10 @@ class RemediationController:
         self._last_evict_at: float | None = None
         self._last_scale_at: float | None = None
         self._retrans_quiet_since: float | None = None
+        self._scrubbed_at: dict[str, float] = {}
         self._restarts = 0
         self._evictions = 0
+        self._scrubs = 0
         self._scale_ups = 0
         self._scaling = False
         self._action_no = 0
@@ -146,6 +168,7 @@ class RemediationController:
         now = self.sim.now
         self._membership_policies(now)
         self._scale_policy(now)
+        self._corruption_policy(now)
 
     def _membership_policies(self, now: float) -> None:
         for address in list(self.cluster.config.server_addresses):
@@ -175,15 +198,21 @@ class RemediationController:
         self._audit("restart", node, server=index)
 
     def _maybe_evict(self, site, node: str, now: float, since: float) -> None:
+        self._evict_and_replace(site, node, now, stale_ms=round(now - since, 3))
+
+    def _evict_and_replace(self, site, node: str, now: float, **detail) -> bool:
+        """Shared evict + re-replicate mechanics (budget, cooldown,
+        spare pool, majority guard); *node* is the alerting registry
+        node the monitor should retire."""
         if self._evictions >= self.policy.max_evictions:
-            return
+            return False
         if (
             self._last_evict_at is not None
             and now - self._last_evict_at < self.policy.evict_cooldown_ms
         ):
-            return
+            return False
         if not self.cluster.has_spare():
-            return
+            return False
         # Never evict into a minority: the OTHER operational replicas
         # must form a majority of the shrunk server set by themselves.
         others = [
@@ -193,18 +222,69 @@ class RemediationController:
         ]
         remaining = len(self.cluster.config.server_addresses) - 1
         if len(others) < remaining // 2 + 1:
-            return
+            return False
         self._evictions += 1
         self._last_evict_at = now
         index = self.cluster.sites.index(site)
         self.cluster.evict_server(index)
         self.monitor.retire_node(node)
-        self._audit("evict", node, server=index, stale_ms=round(now - since, 3))
+        self._audit("evict", node, server=index, **detail)
         replacement = self.cluster.add_server()
         self._audit(
             "add",
             str(replacement.me),
             server=self.cluster.sites.index(self.cluster.site_of(replacement.me)),
+        )
+        return True
+
+    # -- corruption: scrub now, evict if it persists ------------------------
+
+    def _corruption_policy(self, now: float) -> None:
+        for (node, signal), since in sorted(self._active_since.items()):
+            if signal != CORRUPTION:
+                continue
+            site = self._site_of_storage(node)
+            if site is None:
+                continue  # e.g. an already-evicted replica's old disk
+            server = site.server
+            if (
+                now - since >= self.policy.corrupt_evict_after_ms
+                and server is not None
+            ):
+                # Scrubbing is evidently not winning (rot keeps being
+                # found, or keeps being served): replace the replica.
+                if self._evict_and_replace(
+                    site, node, now, corrupt_ms=round(now - since, 3)
+                ):
+                    continue
+            self._maybe_scrub(site, node, now)
+
+    def _site_of_storage(self, node: str):
+        """The site owning the storage device registered as *node*."""
+        for site in self.cluster.sites:
+            if site.disk.name == node:
+                return site
+            nvram = getattr(site, "nvram", None)
+            if nvram is not None and nvram.name == node:
+                return site
+        return None
+
+    def _maybe_scrub(self, site, node: str, now: float) -> None:
+        if self._scrubs >= self.policy.max_scrubs:
+            return
+        last = self._scrubbed_at.get(node)
+        if last is not None and now - last < self.policy.scrub_cooldown_ms:
+            return
+        server = site.server
+        if server is None or not server.alive or not server.operational:
+            return  # a dead replica is the restart policy's problem
+        if not hasattr(server, "scrub_now"):
+            return
+        self._scrubs += 1
+        self._scrubbed_at[node] = now
+        server.scrub_now()
+        self._audit(
+            "scrub", node, server=self.cluster.sites.index(site)
         )
 
     def _scale_policy(self, now: float) -> None:
@@ -294,5 +374,6 @@ class RemediationController:
             "actions": list(self.actions),
             "restarts": self._restarts,
             "evictions": self._evictions,
+            "scrubs": self._scrubs,
             "scale_ups": self._scale_ups,
         }

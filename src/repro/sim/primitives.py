@@ -93,6 +93,39 @@ class Semaphore:
                 return
         self._value += 1
 
+    def abandon(self, fut: Future) -> None:
+        """Disown an acquire whose process was killed (processor crash).
+
+        A still-pending waiter is poisoned so :meth:`release` skips it;
+        a unit that was granted but never consumed (the holder died
+        between the grant and its next step) is returned. Without this,
+        killing a process that is queued for the semaphore hands the
+        next grant to a corpse and every later acquirer blocks forever.
+        """
+        if fut.resolved:
+            if fut.exception is None:
+                self.release()
+            return
+        fut.interrupt(f"{self.name} acquire abandoned")
+
+    def acquire_gen(self):
+        """Crash-safe acquire for generator processes.
+
+        ``yield from sem.acquire_gen()`` blocks exactly like yielding
+        :meth:`acquire`, but if the waiting process is killed — its
+        generator is closed, raising GeneratorExit at the yield — the
+        grant is disowned via :meth:`abandon` instead of leaking.
+        Use this whenever the acquiring process can be crashed while
+        the semaphore guards state that outlives it (the disk arm, a
+        machine CPU).
+        """
+        fut = self.acquire()
+        try:
+            yield fut
+        except GeneratorExit:
+            self.abandon(fut)
+            raise
+
 
 class Mutex(Semaphore):
     """Binary semaphore with held/free introspection."""

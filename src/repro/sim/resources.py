@@ -26,7 +26,10 @@ class Cpu:
         """Occupy the CPU for *duration* ms (``yield from cpu.use(3.0)``)."""
         if duration <= 0.0:
             return
-        yield self._mutex.acquire()
+        # acquire_gen, not acquire: the CPU belongs to the machine and
+        # outlives a crashed server process — a kill while queued for
+        # the CPU must not leak it (the restarted server shares it).
+        yield from self._mutex.acquire_gen()
         try:
             yield self.sim.sleep(duration)
             self.busy_ms += duration

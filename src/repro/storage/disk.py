@@ -19,16 +19,29 @@ Two facilities share the spindle:
   blocks addressed by index (the commit block and object table);
 * an **extent store** used by the Bullet server — whole immutable
   files addressed by key.
+
+With ``integrity=True`` every stored block is wrapped in a
+self-identifying checksummed envelope (:mod:`repro.storage.integrity`)
+and reads of damaged or misdirected blocks raise
+:class:`~repro.errors.CorruptBlock`; with the default ``integrity=False``
+the on-disk layout is byte-identical to the original and injected rot
+is only *tainted* (tracked, and counted as ``disk.corrupt_served`` when
+read) so the non-vacuity control can prove what silent corruption would
+have cost. Storage faults are armed through :meth:`Disk.inject_bit_rot`,
+:meth:`Disk.corrupt_extent`, :meth:`Disk.arm_torn_write`,
+:meth:`Disk.arm_lost_writes`, :meth:`Disk.arm_misdirected_writes` and
+:meth:`Disk.arm_crash_point` — see docs/CHAOS.md for the catalogue.
 """
 
 from __future__ import annotations
 
 from typing import Any, Hashable
 
-from repro.errors import DiskFailure, StorageError
+from repro.errors import CorruptBlock, DiskFailure, StorageError
 from repro.sim.latency import DiskLatency
 from repro.sim.primitives import Semaphore
 from repro.sim.scheduler import Simulator
+from repro.storage.integrity import seal, unseal
 
 BLOCK_SIZE = 1024
 
@@ -42,15 +55,36 @@ class Disk:
         name: str,
         latency: DiskLatency | None = None,
         blocks: int = 4096,
+        integrity: bool = False,
     ):
         self.sim = sim
         self.name = name
         self.latency = latency or DiskLatency()
         self.block_count = blocks
+        #: Wrap every stored block in a checksummed self-identifying
+        #: envelope and fail reads loudly as CorruptBlock. Off by
+        #: default: the legacy layout must stay byte-identical for the
+        #: paper-figure experiments.
+        self.integrity = integrity
         self._blocks: dict[int, bytes] = {}
         self._extents: dict[Hashable, Any] = {}
         self._arm = Semaphore(1, f"{name}.arm")
         self.failed = False
+        #: Device generation, part of block identity; bumps on head crash.
+        self._epoch = 0
+        #: Device-wide write sequence number stamped into envelopes.
+        self._write_seq = 0
+        #: Blocks / extents carrying injected rot. With integrity on the
+        #: stored envelope bytes are really damaged too; without it the
+        #: payload stays intact and the taint only drives the
+        #: ``disk.corrupt_served`` accounting.
+        self._tainted: set[int] = set()
+        self._tainted_extents: set[Hashable] = set()
+        # Armed write faults (chaos injection; see docs/CHAOS.md).
+        self._torn: list[dict] = []
+        self._crash_point: dict | None = None
+        self._lost_writes: list = []  # one armed region per lost write
+        self._misdirected_writes: list = []
         self.ops = {"random": 0, "sequential": 0, "cached": 0, "batch": 0}
         self._obs = sim.obs
         registry = sim.obs.registry
@@ -59,6 +93,11 @@ class Disk:
             for kind in ("random", "sequential", "cached", "batch")
         }
         self._c_busy = registry.counter(name, "disk.busy_ms")
+        self._c_read_errors = registry.counter(name, "disk.read_errors")
+        self._c_write_errors = registry.counter(name, "disk.write_errors")
+        self._c_corrupt_detected = registry.counter(name, "disk.corrupt_detected")
+        self._c_corrupt_served = registry.counter(name, "disk.corrupt_served")
+        self._c_scrub_repairs = registry.counter(name, "disk.scrub_repairs")
         self._h_op_ms = registry.histogram(name, "disk.op_ms")
         self._h_queue_ms = registry.histogram(name, "disk.queue_ms")
         #: Operations waiting for (or holding) the arm right now — the
@@ -70,8 +109,15 @@ class Disk:
     def fail(self) -> None:
         """Head crash: all data is gone and every future access errors."""
         self.failed = True
+        self._epoch += 1
         self._blocks.clear()
         self._extents.clear()
+        self._tainted.clear()
+        self._tainted_extents.clear()
+        self._torn.clear()
+        self._crash_point = None
+        self._lost_writes.clear()
+        self._misdirected_writes.clear()
 
     def _check(self) -> None:
         if self.failed:
@@ -79,7 +125,7 @@ class Disk:
 
     # -- timing core --------------------------------------------------------
 
-    def _occupy(self, kind: str, size_bytes: int, lineage=None):
+    def _occupy(self, kind: str, size_bytes: int, lineage=None, errors=None):
         """Hold the arm for one operation of *kind*; charge its time.
 
         Time spent waiting for the arm (another op in flight) is
@@ -90,29 +136,50 @@ class Disk:
         caller's apparent compute time. *lineage* stamps the trace
         event with the group message (or synthetic id) this operation
         serves, so span stitching can split persist time into
-        queue-wait vs. service per operation.
+        queue-wait vs. service per operation. *errors* is the
+        direction-specific error counter (``disk.read_errors`` /
+        ``disk.write_errors``) bumped when the operation fails.
         """
-        self._check()
+        try:
+            self._check()
+        except DiskFailure:
+            if errors is not None:
+                errors.inc()
+            raise
         queued_at = self.sim.now
         self._g_queue_depth.add(1)
         try:
-            yield self._arm.acquire()
+            # acquire_gen, not acquire: the disk outlives its users, so
+            # a machine crash mid-queue must not leak the arm.
+            yield from self._arm.acquire_gen()
             queue_ms = self.sim.now - queued_at
             try:
-                self._check()
-                if kind == "random":
-                    delay = self.latency.random_ms(size_bytes)
-                elif kind == "sequential":
-                    delay = self.latency.sequential_ms(size_bytes)
-                elif kind == "cached":
-                    delay = self.latency.cached_ms(size_bytes)
-                elif kind == "batch":
-                    delay = self.latency.batch_ms(size_bytes)
-                else:
-                    raise StorageError(f"unknown disk access kind {kind!r}")
-                start = self.sim.now
-                if delay > 0:
-                    yield self.sim.sleep(delay)
+                try:
+                    self._check()
+                    if kind == "random":
+                        delay = self.latency.random_ms(size_bytes)
+                    elif kind == "sequential":
+                        delay = self.latency.sequential_ms(size_bytes)
+                    elif kind == "cached":
+                        delay = self.latency.cached_ms(size_bytes)
+                    elif kind == "batch":
+                        delay = self.latency.batch_ms(size_bytes)
+                    else:
+                        raise StorageError(f"unknown disk access kind {kind!r}")
+                    start = self.sim.now
+                    if delay > 0:
+                        yield self.sim.sleep(delay)
+                    # A head crash while this op was being serviced must
+                    # not let the caller believe its data was persisted:
+                    # the batch's tail (and its RAM-mirror update) never
+                    # happened. The queue wait was real, so it is still
+                    # observed below before the failure propagates.
+                    self._check()
+                except DiskFailure:
+                    self._h_queue_ms.observe(queue_ms)
+                    if errors is not None:
+                        errors.inc()
+                    raise
                 self.ops[kind] += 1
                 self._c_ops[kind].inc()
                 self._c_busy.inc(delay)
@@ -136,6 +203,77 @@ class Disk:
         """All operations performed, regardless of class."""
         return sum(self.ops.values())
 
+    # -- integrity envelopes & armed write faults --------------------------
+
+    def _sealed(self, index: int, data: bytes) -> bytes:
+        data = bytes(data)
+        if not self.integrity:
+            return data
+        self._write_seq += 1
+        return seal(self.name, index, self._epoch, self._write_seq, data)
+
+    def _store(self, index: int, raw: bytes) -> None:
+        """Land already-sealed bytes; a write always clears the taint."""
+        self._blocks[index] = raw
+        self._tainted.discard(index)
+
+    def _unseal(self, index: int, raw: bytes) -> bytes:
+        """Undo the envelope (integrity on) or apply taint accounting
+        (integrity off). Absent blocks read as empty in both modes."""
+        if self.integrity:
+            if not raw:
+                return b""
+            try:
+                return unseal(raw, self.name, index)
+            except CorruptBlock:
+                self._c_corrupt_detected.inc()
+                raise
+        if index in self._tainted:
+            self._c_corrupt_served.inc()
+        return raw
+
+    def _writes_in_region(self, writes, region) -> bool:
+        if region is None:
+            return True
+        start, end = region
+        return any(start <= index < end for index, _ in writes)
+
+    def _take_crash_point(self, writes):
+        """Return the armed crash point if this batch triggers it."""
+        cp = self._crash_point
+        if cp is None or not self._writes_in_region(writes, cp["region"]):
+            return None
+        self._crash_point = None
+        return cp
+
+    def _take_torn(self, writes):
+        """Return the first armed torn-write matching this batch."""
+        for fault in self._torn:
+            if len(writes) >= 2 and self._writes_in_region(writes, fault["region"]):
+                self._torn.remove(fault)
+                return fault
+        return None
+
+    def _take_armed(self, armed: list, index: int) -> bool:
+        """Consume the first armed single-block fault covering *index*."""
+        for i, region in enumerate(armed):
+            if region is None or region[0] <= index < region[1]:
+                armed.pop(i)
+                return True
+        return False
+
+    def _power_cut(self, cp, persisted: int, total: int):
+        """Fire an armed crash point: the machine dies at a block
+        boundary mid-flush. The hook (normally ``crash_server``) is
+        scheduled and the writing process is failed so it can never
+        update its RAM mirrors — recovery must reconcile the torn
+        flush from disk alone (the paper's Fig. 5/6 argument)."""
+        if cp["hook"] is not None:
+            self.sim.call_soon(cp["hook"])
+        raise DiskFailure(
+            f"{self.name}: power cut after {persisted}/{total} blocks of a flush"
+        )
+
     # -- block store -----------------------------------------------------------
 
     def write_block(self, index: int, data: bytes, kind: str = "random", lineage=None):
@@ -144,8 +282,31 @@ class Disk:
             raise StorageError(f"block {index} out of range on {self.name}")
         if len(data) > BLOCK_SIZE:
             raise StorageError(f"block write of {len(data)} bytes exceeds block size")
-        yield from self._occupy(kind, max(len(data), BLOCK_SIZE), lineage=lineage)
-        self._blocks[index] = bytes(data)
+        yield from self._occupy(
+            kind, max(len(data), BLOCK_SIZE),
+            lineage=lineage, errors=self._c_write_errors,
+        )
+        cp = self._take_crash_point([(index, data)])
+        if cp is not None:
+            persisted = min(max(cp["cut_after"], 0), 1)
+            if persisted:
+                self._store(index, self._sealed(index, data))
+            self._c_write_errors.inc()
+            self._power_cut(cp, persisted, 1)
+        raw = self._sealed(index, data)
+        if self._take_armed(self._lost_writes, index):
+            # Reported success, never reached the platter.
+            return
+        if self._take_armed(self._misdirected_writes, index):
+            # Lands one block over: self-identifying envelopes catch
+            # this on read (identity mismatch); without integrity the
+            # foreign bytes are tainted as silently-served corruption.
+            wrong = index + 1 if index + 1 < self.block_count else index - 1
+            self._blocks[wrong] = raw
+            if not self.integrity:
+                self._tainted.add(wrong)
+            return
+        self._store(index, raw)
 
     def write_blocks(self, writes, lineage=None):
         """Group-commit write of several blocks in one arm operation.
@@ -154,7 +315,9 @@ class Disk:
         is priced as one seek + rotational delay + sequential transfer
         of every block (:meth:`DiskLatency.batch_ms`); all blocks
         become visible together when the operation completes, so a
-        concurrent reader never observes a half-applied batch.
+        concurrent reader never observes a half-applied batch — unless
+        an armed torn-write or crash-point fault cuts the flush at a
+        block boundary, persisting only a prefix.
         """
         if not writes:
             return
@@ -167,21 +330,46 @@ class Disk:
                     f"block write of {len(data)} bytes exceeds block size"
                 )
             total += max(len(data), BLOCK_SIZE)
-        yield from self._occupy("batch", total, lineage=lineage)
+        yield from self._occupy(
+            "batch", total, lineage=lineage, errors=self._c_write_errors,
+        )
+        cp = self._take_crash_point(writes)
+        if cp is not None:
+            persisted = min(max(cp["cut_after"], 0), len(writes))
+            for index, data in writes[:persisted]:
+                self._store(index, self._sealed(index, data))
+            self._c_write_errors.inc()
+            self._power_cut(cp, persisted, len(writes))
+        torn = self._take_torn(writes)
+        if torn is not None:
+            # Reported success; the tail of the batch silently never
+            # persisted. The caller's RAM mirrors now lead the disk.
+            kept = min(max(torn["keep_blocks"], 0), len(writes) - 1)
+            for index, data in writes[:kept]:
+                self._store(index, self._sealed(index, data))
+            return
         for index, data in writes:
-            self._blocks[index] = bytes(data)
+            self._store(index, self._sealed(index, data))
 
     def read_block(self, index: int, kind: str = "random", lineage=None):
         """Read one block synchronously; missing blocks read as empty."""
         if not 0 <= index < self.block_count:
             raise StorageError(f"block {index} out of range on {self.name}")
-        yield from self._occupy(kind, BLOCK_SIZE, lineage=lineage)
-        return self._blocks.get(index, b"")
+        yield from self._occupy(
+            kind, BLOCK_SIZE, lineage=lineage, errors=self._c_read_errors,
+        )
+        return self._unseal(index, self._blocks.get(index, b""))
 
     def peek_block(self, index: int) -> bytes:
-        """Zero-time inspection for tests and invariant checks."""
+        """Zero-time inspection for tests, scrubbing and invariant checks.
+
+        Integrity checking still applies: peeks of damaged blocks raise
+        :class:`CorruptBlock` (and count a detection) exactly like timed
+        reads, so boot-time table scans and the scrubber's audits see
+        corruption the moment they look at it.
+        """
         self._check()
-        return self._blocks.get(index, b"")
+        return self._unseal(index, self._blocks.get(index, b""))
 
     # -- extent store ------------------------------------------------------------
 
@@ -190,20 +378,35 @@ class Disk:
         kind: str = "sequential", lineage=None,
     ):
         """Store a whole immutable extent under *key*."""
-        yield from self._occupy(kind, size_bytes, lineage=lineage)
+        yield from self._occupy(
+            kind, size_bytes, lineage=lineage, errors=self._c_write_errors,
+        )
         self._extents[key] = data
+        self._tainted_extents.discard(key)
 
     def read_extent(self, key: Hashable, size_bytes: int, kind: str = "random", lineage=None):
         """Fetch an extent; raises StorageError if absent."""
-        yield from self._occupy(kind, size_bytes, lineage=lineage)
+        yield from self._occupy(
+            kind, size_bytes, lineage=lineage, errors=self._c_read_errors,
+        )
         if key not in self._extents:
             raise StorageError(f"no extent {key!r} on disk {self.name}")
+        if key in self._tainted_extents:
+            if self.integrity:
+                self._c_corrupt_detected.inc()
+                raise CorruptBlock(
+                    f"extent {key!r} on {self.name} failed its checksum"
+                )
+            self._c_corrupt_served.inc()
         return self._extents[key]
 
     def delete_extent(self, key: Hashable, kind: str = "cached", lineage=None):
         """Drop an extent (free-list update; cheap by default)."""
-        yield from self._occupy(kind, BLOCK_SIZE, lineage=lineage)
+        yield from self._occupy(
+            kind, BLOCK_SIZE, lineage=lineage, errors=self._c_write_errors,
+        )
         self._extents.pop(key, None)
+        self._tainted_extents.discard(key)
 
     def has_extent(self, key: Hashable) -> bool:
         """Zero-time existence check (used at server restart)."""
@@ -219,6 +422,93 @@ class Disk:
         """Zero-time extent inspection for tests."""
         self._check()
         return self._extents.get(key)
+
+    # -- storage-fault injection (chaos; see docs/CHAOS.md) ----------------
+
+    def inject_bit_rot(self, rng, blocks: int = 1, region=None) -> list[int]:
+        """Rot up to *blocks* stored blocks, chosen with *rng*.
+
+        With integrity on a real byte of the stored envelope is flipped,
+        so detection is honest CRC arithmetic; without it the payload is
+        left intact and only tainted, so the control run can count every
+        corrupt byte it silently serves. Returns the hit indexes.
+        """
+        self._check()
+        candidates = sorted(
+            index
+            for index, raw in self._blocks.items()
+            if raw
+            and index not in self._tainted
+            and (region is None or region[0] <= index < region[1])
+        )
+        hit: list[int] = []
+        for _ in range(min(blocks, len(candidates))):
+            index = candidates.pop(rng.randrange(len(candidates)))
+            if self.integrity:
+                raw = bytearray(self._blocks[index])
+                raw[rng.randrange(len(raw))] ^= 1 << rng.randrange(8)
+                self._blocks[index] = bytes(raw)
+            self._tainted.add(index)
+            hit.append(index)
+        return hit
+
+    def corrupt_extent(self, rng, extents: int = 1) -> list:
+        """Taint up to *extents* stored extents, chosen with *rng*.
+
+        Extents hold structured payloads, so the rot is simulated as a
+        checksum-failure flag rather than flipped bytes: integrity-on
+        reads raise :class:`CorruptBlock`, integrity-off reads serve the
+        data and count ``disk.corrupt_served``.
+        """
+        self._check()
+        candidates = sorted(
+            (key for key in self._extents if key not in self._tainted_extents),
+            key=repr,
+        )
+        hit: list = []
+        for _ in range(min(extents, len(candidates))):
+            key = candidates.pop(rng.randrange(len(candidates)))
+            self._tainted_extents.add(key)
+            hit.append(key)
+        return hit
+
+    def arm_torn_write(self, keep_blocks: int = 1, region=None) -> None:
+        """The next multi-block :meth:`write_blocks` batch (touching
+        *region*, if given) persists only its first *keep_blocks* blocks
+        but still reports success — a torn write."""
+        self._torn.append({"keep_blocks": keep_blocks, "region": region})
+
+    def arm_lost_writes(self, count: int = 1, region=None) -> None:
+        """The next *count* single-block writes (targeting *region*, if
+        given) report success without ever reaching the platter."""
+        self._lost_writes.extend([region] * count)
+
+    def arm_misdirected_writes(self, count: int = 1, region=None) -> None:
+        """The next *count* single-block writes (targeting *region*, if
+        given) land one block away from their intended address."""
+        self._misdirected_writes.extend([region] * count)
+
+    def arm_crash_point(self, hook, cut_after: int = 1, region=None) -> None:
+        """Power-cut the machine at a block boundary inside the next
+        write (touching *region*, if given): *cut_after* blocks persist,
+        *hook* is scheduled (normally the cluster's ``crash_server``),
+        and the writing process fails so its RAM mirrors are never
+        updated."""
+        self._crash_point = {"hook": hook, "cut_after": cut_after, "region": region}
+
+    def extent_corrupt(self, key: Hashable) -> bool:
+        """Zero-time taint check (scrubber / restart audits)."""
+        self._check()
+        return key in self._tainted_extents
+
+    def tainted_blocks(self) -> list[int]:
+        """Zero-time list of block indexes carrying injected rot."""
+        self._check()
+        return sorted(self._tainted)
+
+    def note_scrub_repairs(self, count: int = 1) -> None:
+        """Credit *count* scrubber repairs to this device's metrics."""
+        self._c_scrub_repairs.inc(count)
 
 
 class RawPartition:
@@ -238,6 +528,12 @@ class RawPartition:
         self.start = start
         self.length = length
         self.name = name or f"{disk.name}[{start}:{start + length}]"
+
+    @property
+    def region(self) -> tuple[int, int]:
+        """Absolute ``(start, end)`` block range — the shape storage
+        fault injection uses to target this partition."""
+        return (self.start, self.start + self.length)
 
     def _translate(self, index: int) -> int:
         if not 0 <= index < self.length:

@@ -36,6 +36,10 @@ class NvramRecord:
     payload: Any
     size: int
     seqno: int = 0
+    #: Set by a battery blip (:meth:`Nvram.blip`): the record's checksum
+    #: no longer verifies. Boards running with integrity detect this at
+    #: replay; legacy boards replay the damaged record as-is.
+    corrupt: bool = False
 
 
 @dataclass
@@ -52,11 +56,15 @@ class Nvram:
     """A bounded, battery-backed log of modification records."""
 
     def __init__(self, sim: Simulator, capacity_bytes: int = PAPER_NVRAM_BYTES,
-                 write_ms: float = 3.0, name: str = "nvram"):
+                 write_ms: float = 3.0, name: str = "nvram",
+                 integrity: bool = False):
         self.sim = sim
         self.capacity_bytes = capacity_bytes
         self.write_ms = write_ms
         self.name = name
+        #: Records carry per-record checksums and replay skips (and
+        #: counts) damaged ones; off by default for paper fidelity.
+        self.integrity = integrity
         self._records: list[NvramRecord] = []
         self._used = 0
         self._next_seqno = 1
@@ -67,6 +75,8 @@ class Nvram:
         self._c_annihilations = registry.counter(name, "nvram.annihilations")
         self._c_flushes = registry.counter(name, "nvram.flushes")
         self._c_flushed_records = registry.counter(name, "nvram.flushed_records")
+        self._c_corrupt_records = registry.counter(name, "nvram.corrupt_records")
+        self._c_corrupt_replayed = registry.counter(name, "nvram.corrupt_replayed")
         self._g_used = registry.gauge(name, "nvram.used_bytes")
 
     # -- capacity ----------------------------------------------------------
@@ -183,3 +193,39 @@ class Nvram:
     def snapshot(self) -> list[NvramRecord]:
         """Non-destructive copy of the log (crash recovery replays it)."""
         return list(self._records)
+
+    # -- integrity ----------------------------------------------------------
+
+    def blip(self, records: int = 1) -> int:
+        """Battery blip: corrupt the newest *records* intact records.
+
+        The record objects stay in the log (a blip does not change the
+        board's occupancy accounting) but their checksums no longer
+        verify. Returns how many records were actually hit.
+        """
+        hit = 0
+        for record in reversed(self._records):
+            if hit >= records:
+                break
+            if not record.corrupt:
+                record.corrupt = True
+                hit += 1
+        return hit
+
+    def validate(self, record: NvramRecord) -> bool:
+        """Replay-time integrity check for one logged record.
+
+        Returns whether the caller should apply the record. A corrupt
+        record on an integrity-checked board is detected (counted as
+        ``nvram.corrupt_records``) and must be skipped; on a legacy
+        board the damage is invisible, so the record is replayed as-is
+        and counted as ``nvram.corrupt_replayed`` — the durability
+        invariant's "corrupt byte served" evidence.
+        """
+        if not record.corrupt:
+            return True
+        if self.integrity:
+            self._c_corrupt_records.inc()
+            return False
+        self._c_corrupt_replayed.inc()
+        return True

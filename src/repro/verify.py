@@ -287,6 +287,7 @@ class InvariantReport:
     linearizability_violations: list[str] = field(default_factory=list)
     duplicate_applies: list[str] = field(default_factory=list)
     resilience_problems: list[str] = field(default_factory=list)
+    durability_problems: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -297,6 +298,7 @@ class InvariantReport:
             and not self.linearizability_violations
             and not self.duplicate_applies
             and not self.resilience_problems
+            and not self.durability_problems
         )
 
     def problems(self) -> list[str]:
@@ -308,6 +310,7 @@ class InvariantReport:
         out.extend(self.linearizability_violations)
         out.extend(self.duplicate_applies)
         out.extend(self.resilience_problems)
+        out.extend(self.durability_problems)
         return out
 
 
@@ -366,6 +369,49 @@ def check_resilience_restored(cluster) -> list[str]:
     return problems
 
 
+def check_durability(cluster) -> list[str]:
+    """The storage-integrity contract (docs/PROTOCOL.md, "Storage
+    integrity"): no corrupt byte was ever served, and every
+    operational replica's durable blocks hold what it acknowledged.
+
+    Two parts, in a deliberate order:
+
+    * **counter evidence, read first** (the audit below peeks blocks
+      and must not pollute it): any nonzero ``disk.corrupt_served`` or
+      ``nvram.corrupt_replayed`` counter means some read returned
+      damaged bytes as if they were good — the silent-corruption
+      failure mode the integrity envelope exists to prevent. The
+      chaos suite's ``integrity_off`` control run must fail here,
+      proving the check is not vacuous.
+    * **a zero-time disk audit** of every operational replica: each
+      mapped admin-partition block must hold exactly what the RAM
+      mirrors say was last flushed there. Unrepaired bit rot, lost or
+      misdirected writes, and torn batch tails all surface as
+      mismatches (a failed checksum counts as one too).
+    """
+    problems: list[str] = []
+    registry = cluster.obs.registry
+    for metric in ("disk.corrupt_served", "nvram.corrupt_replayed"):
+        for node, counter in registry.find_counters(metric):
+            if counter.value:
+                problems.append(
+                    f"{node}: {metric} = {counter.value} "
+                    f"(corrupt bytes served as good data)"
+                )
+    for server in cluster.operational_servers():
+        admin = getattr(server, "admin", None)
+        if admin is None:
+            continue
+        for index, expected in sorted(admin.expected_blocks().items()):
+            if not admin.verify_block(index, expected):
+                problems.append(
+                    f"server {server.index}: admin block {index} does not "
+                    f"hold its acknowledged contents (unrepaired rot, or a "
+                    f"lost/torn/misdirected write)"
+                )
+    return problems
+
+
 def check_cluster(
     cluster,
     history: HistoryRecorder,
@@ -373,6 +419,7 @@ def check_cluster(
     private_keys: bool = True,
     trace_events=None,
     check_resilience: bool = False,
+    durability: bool = False,
 ) -> InvariantReport:
     """Run every invariant against a quiesced cluster + client history.
 
@@ -385,7 +432,9 @@ def check_cluster(
     the exported dicts) as *trace_events* to also scan for duplicate
     session-op applications. With ``check_resilience=True`` the report
     also includes :func:`check_resilience_restored` (elastic clusters
-    under remediation must end at their declared shape).
+    under remediation must end at their declared shape); with
+    ``durability=True`` it also includes :func:`check_durability`
+    (no corrupt byte served, durable blocks match acknowledgements).
     """
     operational = cluster.operational_servers()
     report = InvariantReport(
@@ -405,6 +454,8 @@ def check_cluster(
         report.duplicate_applies = check_exactly_once_applies(trace_events)
     if check_resilience:
         report.resilience_problems = check_resilience_restored(cluster)
+    if durability:
+        report.durability_problems = check_durability(cluster)
     return report
 
 

@@ -169,9 +169,8 @@ class TestRandomFaultPlanManySeeds:
 
 class TestNewEventTypes:
     def test_disk_failure_builder_and_rename(self):
-        from repro.faults import DiskFailure, DiskFailure_
+        from repro.faults import DiskFailure
 
-        assert DiskFailure_ is DiskFailure  # deprecated alias retained
         plan = FaultPlan().disk_failure(500.0, 1)
         [event] = plan.events
         assert isinstance(event, DiskFailure)
@@ -239,3 +238,112 @@ class TestNewEventTypes:
         plan.arm(cluster)
         cluster.run(until=cluster.sim.now + 50.0)
         assert plan.log[0][1] == "anonymous"
+
+
+class TestStorageFaultEvents:
+    """The storage-fault catalogue (docs/CHAOS.md): every event fires
+    against the right site's device and scopes to its admin partition."""
+
+    def make_cluster(self):
+        cluster = GroupServiceCluster(seed=1, integrity=True)
+        cluster.start()
+        cluster.wait_operational()
+        return cluster
+
+    def test_bit_rot_event_rots_admin_area(self):
+        cluster = self.make_cluster()
+        base = cluster.sim.now
+        plan = FaultPlan().bit_rot(base + 10.0, 1, blocks=2, area="admin")
+        plan.arm(cluster)
+        cluster.run(until=base + 50.0)
+        site = cluster.sites[1]
+        start, end = site.partition.region
+        tainted = site.disk.tainted_blocks()
+        # Rot only lands on written blocks, so the hit count is capped
+        # by how much the service has flushed — but never zero and
+        # never outside the admin partition.
+        assert 1 <= len(tainted) <= 2
+        assert all(start <= b < end for b in tainted)
+        assert plan.log[0][1].startswith("bit rot at site 1: blocks")
+
+    def test_extent_rot_event(self):
+        cluster = self.make_cluster()
+        client = cluster.add_client("c")
+        root = cluster.root_capability
+
+        def seed_data():
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "f", (sub,))
+
+        cluster.run_process(seed_data())
+        base = cluster.sim.now
+        plan = FaultPlan().extent_rot(base + 10.0, 1, extents=1)
+        plan.arm(cluster)
+        cluster.run(until=base + 50.0)
+        site = cluster.sites[1]
+        assert any(site.disk.extent_corrupt(k) for k in site.disk.extent_keys())
+
+    def test_torn_lost_misdirected_events_arm_the_admin_partition(self):
+        cluster = self.make_cluster()
+        base = cluster.sim.now
+        plan = (
+            FaultPlan()
+            .torn_write(base + 10.0, 0, keep_blocks=1)
+            .lost_writes(base + 10.0, 1, count=2)
+            .misdirected_writes(base + 10.0, 2, count=1)
+        )
+        plan.arm(cluster)
+        cluster.run(until=base + 20.0)
+        assert cluster.sites[0].disk._torn[0]["region"] == (
+            cluster.sites[0].partition.region
+        )
+        assert cluster.sites[1].disk._lost_writes == [
+            cluster.sites[1].partition.region
+        ] * 2
+        assert cluster.sites[2].disk._misdirected_writes == [
+            cluster.sites[2].partition.region
+        ]
+        descriptions = sorted(d for _, d in plan.log)
+        assert descriptions == [
+            "armed 1 misdirected write(s) at site 2",
+            "armed 2 lost write(s) at site 1",
+            "armed torn write at site 0 (keep 1)",
+        ]
+
+    def test_crash_point_event_power_cuts_inside_a_flush(self):
+        cluster = self.make_cluster()
+        base = cluster.sim.now
+        plan = FaultPlan().crash_point(base + 10.0, 1, cut_after=1)
+        plan.arm(cluster)
+        cluster.run(until=base + 20.0)
+        assert cluster.sites[1].disk._crash_point is not None
+        # A client write forces a commit-batch flush on every replica;
+        # site 1's flush is cut at the block boundary and the whole
+        # machine dies mid-write.
+        client = cluster.add_client("c")
+        root = cluster.root_capability
+
+        def work():
+            from repro.errors import ServiceDown
+
+            try:
+                sub = yield from client.create_dir()
+                yield from client.append_row(root, "boom", (sub,))
+            except ServiceDown:
+                pass  # the power cut may race the update's own reply
+
+        cluster.run_process(work())
+        cluster.run(until=cluster.sim.now + 2_000.0)
+        assert not cluster.servers[1].alive
+        # The survivors keep the service up; the torn intention is on
+        # disk for recovery to reconcile (exercised in the gauntlet).
+        assert cluster.servers[0].operational
+        assert cluster.servers[2].operational
+
+    def test_nvram_blip_event_is_noop_without_board(self):
+        cluster = self.make_cluster()
+        base = cluster.sim.now
+        plan = FaultPlan().nvram_blip(base + 10.0, 0, records=2)
+        plan.arm(cluster)
+        cluster.run(until=base + 50.0)
+        assert plan.log[0][1] == "nvram blip at site 0: no board (no-op)"

@@ -186,3 +186,93 @@ class TestNvramRecovery:
         cluster.run(until=cluster.sim.now + 8000.0)
         assert cluster.servers[2].operational
         assert "while-down" in cluster.servers[2].state.directories[1].names()
+
+
+class TestBatteryBlip:
+    """Crash-restart with a corrupt trailing log record: an
+    integrity-checked board detects the damage at replay and drops the
+    record (detected loss); a legacy board replays it silently."""
+
+    def _seed_unflushed_update(self, cluster):
+        client = cluster.add_client("c1")
+        root = cluster.root_capability
+
+        def before():
+            sub = yield from client.create_dir()
+            yield from client.append_row(root, "only-in-nvram", (sub,))
+
+        cluster.run_process(before())
+        assert any(len(site.nvram) > 0 for site in cluster.sites)
+        return root
+
+    def _crash_restart_all(self, cluster):
+        for i in range(3):
+            cluster.crash_server(i)
+        cluster.run(until=cluster.sim.now + 500.0)
+        for i in range(3):
+            cluster.restart_server(i)
+        cluster.wait_operational(timeout_ms=60_000.0)
+
+    def test_one_blipped_board_heals_from_peers(self):
+        cluster = NvramServiceCluster(seed=9, name="blip", integrity=True)
+        cluster.start()
+        cluster.wait_operational()
+        root = self._seed_unflushed_update(cluster)
+
+        # Battery blip on ONE board, then a full-machine crash before
+        # any flush: server 2's damaged trailing record is excluded
+        # from its recovery seqno, so an intact peer becomes the donor
+        # and the acknowledged update survives.
+        assert cluster.sites[2].nvram.blip(1) == 1
+        self._crash_restart_all(cluster)
+
+        reader = cluster.add_client("reader")
+
+        def after():
+            found = yield from reader.lookup(root, "only-in-nvram")
+            return found is not None
+
+        assert cluster.run_process(after()) is True
+        assert cluster.replicas_consistent()
+
+    def test_all_boards_blipped_is_detected_loss_not_garbage(self):
+        cluster = NvramServiceCluster(seed=9, name="blip", integrity=True)
+        cluster.start()
+        cluster.wait_operational()
+        root = self._seed_unflushed_update(cluster)
+
+        # Every copy of the trailing record is damaged: no donor can
+        # make up for it. The donor's replay must DETECT the damage and
+        # skip the record — the update is lost, but loudly, and the
+        # replicas still agree.
+        for site in cluster.sites:
+            assert site.nvram.blip(1) == 1
+        self._crash_restart_all(cluster)
+
+        reader = cluster.add_client("reader")
+
+        def after():
+            found = yield from reader.lookup(root, "only-in-nvram")
+            return found is not None
+
+        assert cluster.run_process(after()) is False  # detected loss
+        assert cluster.replicas_consistent()
+        registry = cluster.sim.obs.registry
+        detected = sum(c.value for _, c in registry.find_counters("nvram.corrupt_records"))
+        served = sum(c.value for _, c in registry.find_counters("nvram.corrupt_replayed"))
+        assert detected >= 1
+        assert served == 0  # nothing corrupt was ever applied
+
+    def test_legacy_boards_replay_blipped_records_silently(self):
+        cluster = NvramServiceCluster(seed=9, name="legacy")
+        cluster.start()
+        cluster.wait_operational()
+        self._seed_unflushed_update(cluster)
+
+        for site in cluster.sites:
+            assert site.nvram.blip(1) == 1
+        self._crash_restart_all(cluster)
+
+        registry = cluster.sim.obs.registry
+        served = sum(c.value for _, c in registry.find_counters("nvram.corrupt_replayed"))
+        assert served >= 1  # the durability invariant's evidence

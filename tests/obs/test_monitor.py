@@ -227,6 +227,7 @@ class TestDefaults:
             "session.dup_rate",
             "group.heartbeat_staleness",
             "group.view_churn",
+            "storage.corrupt_rate",
         }
 
 

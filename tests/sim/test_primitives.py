@@ -89,6 +89,91 @@ class TestSemaphore:
         sem.release()
         assert second.resolved
 
+    def test_abandon_pending_waiter_is_skipped_by_release(self):
+        sem = Semaphore(0)
+        dead, live = sem.acquire(), sem.acquire()
+        sem.abandon(dead)
+        assert isinstance(dead.exception, Interrupted)
+        sem.release()
+        assert live.resolved
+
+    def test_abandon_granted_unit_is_returned(self):
+        sem = Semaphore(1)
+        held = sem.acquire()
+        assert held.resolved
+        sem.abandon(held)  # holder died between grant and its next step
+        assert sem.value == 1
+
+    def test_abandon_failed_future_returns_nothing(self):
+        sem = Semaphore(0)
+        fut = sem.acquire()
+        fut.interrupt()
+        sem.abandon(fut)
+        assert sem.value == 0
+
+    def test_killed_waiter_does_not_leak_the_unit(self):
+        # Regression: a process killed while queued in acquire() left a
+        # pending future in the waiter deque; release() then granted the
+        # unit to the corpse and every later acquirer blocked forever.
+        sim = Simulator()
+        sem = Semaphore(1, "arm")
+        order = []
+
+        def holder():
+            yield from sem.acquire_gen()
+            try:
+                yield sim.sleep(5.0)
+            finally:
+                sem.release()
+
+        def doomed():
+            yield from sem.acquire_gen()
+            try:
+                order.append("doomed ran")
+            finally:
+                sem.release()
+
+        def survivor():
+            yield from sem.acquire_gen()
+            try:
+                order.append("survivor ran")
+            finally:
+                sem.release()
+
+        sim.spawn(holder())
+        victim = sim.spawn(doomed())
+        last = sim.spawn(survivor())
+
+        def killer():
+            yield sim.sleep(1.0)  # doomed is now queued behind holder
+            victim.kill("machine crash")
+
+        sim.spawn(killer())
+        sim.run_until_complete(last)
+        assert order == ["survivor ran"]
+        assert sem.value == 1
+
+    def test_killed_holder_still_releases_via_finally(self):
+        sim = Simulator()
+        sem = Semaphore(1)
+
+        def holder():
+            yield from sem.acquire_gen()
+            try:
+                yield sim.sleep(10.0)
+            finally:
+                sem.release()
+
+        victim = sim.spawn(holder())
+
+        def killer():
+            yield sim.sleep(1.0)
+            victim.kill("crash while holding")
+
+        sim.spawn(killer())
+        sim.run()
+        assert sem.value == 1
+
 
 class TestMutex:
     def test_held_flag(self):

@@ -92,3 +92,35 @@ class TestCpu:
         sim.run()
         assert sim.now == pytest.approx(3.0)  # fully overlapped
         assert len(done) == 2
+
+    def test_kill_while_queued_does_not_wedge_cpu(self):
+        # Regression: the CPU belongs to the machine and survives a
+        # server crash. Killing a process queued for the CPU used to
+        # hand the next grant to the corpse, wedging the machine for
+        # every restarted server that shared the transport.
+        sim, cpu = make()
+        done = []
+
+        def long_job():
+            yield from cpu.use(10.0)
+
+        def queued_job():
+            yield from cpu.use(1.0)
+            done.append("queued ran")
+
+        def later_job():
+            yield from cpu.use(1.0)
+            done.append("later ran")
+
+        sim.spawn(long_job())
+        victim = sim.spawn(queued_job())
+        sim.spawn(later_job())
+
+        def killer():
+            yield sim.sleep(2.0)
+            victim.kill("server crash")
+
+        sim.spawn(killer())
+        sim.run()
+        assert done == ["later ran"]
+        assert cpu.idle

@@ -1,0 +1,94 @@
+"""Unit tests for the self-identifying checksummed block envelopes."""
+
+import pytest
+
+from repro.errors import CorruptBlock
+from repro.sim import Simulator
+from repro.storage import Disk
+from repro.storage.integrity import HEADER_SIZE, device_tag, seal, unseal
+
+
+class TestSealUnseal:
+    def test_roundtrip(self):
+        raw = seal("d0", 7, 0, 1, b"payload")
+        assert unseal(raw, "d0", 7) == b"payload"
+
+    def test_empty_payload_roundtrip(self):
+        raw = seal("d0", 0, 0, 1, b"")
+        assert unseal(raw, "d0", 0) == b""
+
+    def test_envelope_overhead_is_header_only(self):
+        raw = seal("d0", 7, 0, 1, b"x" * 100)
+        assert len(raw) == HEADER_SIZE + 100
+
+    def test_every_flipped_bit_is_detected(self):
+        raw = seal("d0", 7, 3, 42, b"precious bytes")
+        for byte_index in range(len(raw)):
+            damaged = bytearray(raw)
+            damaged[byte_index] ^= 0x01
+            with pytest.raises(CorruptBlock):
+                unseal(bytes(damaged), "d0", 7)
+
+    def test_wrong_index_is_identity_mismatch(self):
+        raw = seal("d0", 7, 0, 1, b"payload")
+        with pytest.raises(CorruptBlock, match="identity mismatch"):
+            unseal(raw, "d0", 8)
+
+    def test_wrong_device_is_identity_mismatch(self):
+        raw = seal("d0", 7, 0, 1, b"payload")
+        with pytest.raises(CorruptBlock, match="identity mismatch"):
+            unseal(raw, "d1", 7)
+
+    def test_unsealed_bytes_are_rejected(self):
+        with pytest.raises(CorruptBlock, match="no valid integrity envelope"):
+            unseal(b"raw legacy block contents", "d0", 0)
+
+    def test_truncated_envelope_is_rejected(self):
+        raw = seal("d0", 7, 0, 1, b"payload")
+        with pytest.raises(CorruptBlock):
+            unseal(raw[: len(raw) - 3], "d0", 7)
+
+    def test_device_tag_is_stable_and_name_sensitive(self):
+        assert device_tag("d0") == device_tag("d0")
+        assert device_tag("d0") != device_tag("d1")
+
+
+class TestLayoutCompatibility:
+    """integrity=off must keep the exact legacy on-disk layout — the
+    paper-figure experiments (Fig. 7/9) depend on byte-identical
+    storage behavior."""
+
+    def test_integrity_off_stores_raw_payload(self):
+        sim = Simulator(seed=0)
+        disk = Disk(sim, "d0")
+
+        def work():
+            yield from disk.write_block(3, b"legacy bytes")
+
+        sim.run_until_complete(sim.spawn(work()))
+        assert disk._blocks[3] == b"legacy bytes"
+
+    def test_integrity_on_stores_sealed_envelope(self):
+        sim = Simulator(seed=0)
+        disk = Disk(sim, "d0", integrity=True)
+
+        def work():
+            yield from disk.write_block(3, b"checked bytes")
+
+        sim.run_until_complete(sim.spawn(work()))
+        raw = disk._blocks[3]
+        assert raw.startswith(b"SEAL")
+        assert unseal(raw, "d0", 3) == b"checked bytes"
+
+    def test_sealing_charges_no_extra_service_time(self):
+        def write_time(integrity):
+            sim = Simulator(seed=0)
+            disk = Disk(sim, "d0", integrity=integrity)
+
+            def work():
+                yield from disk.write_block(0, b"x" * 1024)
+
+            sim.run_until_complete(sim.spawn(work()))
+            return sim.now
+
+        assert write_time(True) == write_time(False)

@@ -62,6 +62,58 @@ class TestAppend:
         assert nvram.would_fit(200 - RECORD_OVERHEAD)
         assert not nvram.would_fit(200)
 
+    def test_exact_capacity_record_fits(self):
+        """Boundary: a record that fills the board to the last byte is
+        accepted, and would_fit() agrees with append() exactly."""
+        payload = 256 - RECORD_OVERHEAD
+        sim, nvram = make_nvram(capacity=256)
+        assert nvram.would_fit(payload)
+
+        def work():
+            yield from nvram.append(record("exact", size=payload))
+
+        run(sim, work())
+        assert nvram.free_bytes == 0
+        assert not nvram.would_fit(0)  # even an empty payload has overhead
+
+    def test_one_byte_over_capacity_rejected(self):
+        payload = 256 - RECORD_OVERHEAD + 1
+        sim, nvram = make_nvram(capacity=256)
+        assert not nvram.would_fit(payload)
+
+        def work():
+            yield from nvram.append(record("over", size=payload))
+
+        process = sim.spawn(work())
+        sim.run()
+        assert isinstance(process.exception, NvramFull)
+        assert len(nvram) == 0
+        assert nvram.used_bytes == 0
+
+    def test_annihilation_frees_room_for_the_next_record(self):
+        """The /tmp optimization interacts with the capacity check: an
+        annihilated pair returns its bytes, so a record that would not
+        have fit now does."""
+        size = 64
+        capacity = 2 * (size + RECORD_OVERHEAD)
+        sim, nvram = make_nvram(capacity=capacity)
+
+        def fill():
+            yield from nvram.append(record(("d", "tmp"), op="append", size=size))
+            yield from nvram.append(record(("d", "keep"), op="append", size=size))
+
+        run(sim, fill())
+        assert not nvram.would_fit(size)
+        removed = nvram.annihilate(lambda r: r.key == ("d", "tmp"))
+        assert len(removed) == 1
+        assert nvram.would_fit(size)
+
+        def refill():
+            yield from nvram.append(record(("d", "new"), op="append", size=size))
+
+        run(sim, refill())
+        assert [r.key for r in nvram.snapshot()] == [("d", "keep"), ("d", "new")]
+
     def test_used_and_free_bytes(self):
         sim, nvram = make_nvram(capacity=1024)
 
@@ -147,3 +199,73 @@ class TestFlush:
         run(sim, work())
         assert len(nvram.snapshot()) == 1
         assert len(nvram) == 1
+
+
+class TestBatteryBlip:
+    def fill(self, sim, nvram, n=3):
+        def work():
+            for i in range(n):
+                yield from nvram.append(record(f"k{i}"))
+
+        run(sim, work())
+
+    def test_blip_corrupts_newest_records_first(self):
+        sim, nvram = make_nvram()
+        self.fill(sim, nvram)
+        assert nvram.blip(2) == 2
+        flags = [r.corrupt for r in nvram.snapshot()]
+        assert flags == [False, True, True]
+
+    def test_blip_does_not_change_occupancy(self):
+        sim, nvram = make_nvram()
+        self.fill(sim, nvram)
+        used = nvram.used_bytes
+        nvram.blip(1)
+        assert nvram.used_bytes == used
+        assert len(nvram) == 3
+
+    def test_blip_reports_actual_hits(self):
+        sim, nvram = make_nvram()
+        self.fill(sim, nvram, n=2)
+        assert nvram.blip(5) == 2  # only two intact records existed
+        assert nvram.blip(1) == 0  # everything already corrupt
+
+    def test_validate_with_integrity_detects_and_skips(self):
+        sim = Simulator(seed=0)
+        nvram = Nvram(sim, capacity_bytes=1024, name="n0", integrity=True)
+
+        def work():
+            yield from nvram.append(record("k"))
+
+        run(sim, work())
+        nvram.blip(1)
+        damaged = nvram.snapshot()[0]
+        assert nvram.validate(damaged) is False  # caller must skip it
+        detected = sim.obs.registry.counter("n0", "nvram.corrupt_records")
+        assert detected.value == 1
+
+    def test_validate_without_integrity_replays_and_counts(self):
+        sim = Simulator(seed=0)
+        nvram = Nvram(sim, capacity_bytes=1024, name="n0")
+
+        def work():
+            yield from nvram.append(record("k"))
+
+        run(sim, work())
+        nvram.blip(1)
+        damaged = nvram.snapshot()[0]
+        assert nvram.validate(damaged) is True  # legacy board: replay as-is
+        served = sim.obs.registry.counter("n0", "nvram.corrupt_replayed")
+        assert served.value == 1
+
+    def test_validate_intact_record_is_free(self):
+        sim = Simulator(seed=0)
+        nvram = Nvram(sim, capacity_bytes=1024, name="n0", integrity=True)
+
+        def work():
+            yield from nvram.append(record("k"))
+
+        run(sim, work())
+        assert nvram.validate(nvram.snapshot()[0]) is True
+        detected = sim.obs.registry.counter("n0", "nvram.corrupt_records")
+        assert detected.value == 0

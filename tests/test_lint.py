@@ -1,0 +1,39 @@
+"""Tree-wide lint guards the ruff config cannot express.
+
+Deprecated names removed from the public API must not resurface — a
+stray import of a long-dead alias compiles fine and only breaks users
+downstream, so this sweep fails the build instead.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SWEEP_DIRS = ("src", "tests", "benchmarks", "examples")
+
+#: Names that used to exist and were deliberately removed. Add an entry
+#: here whenever an alias is retired so it can never quietly return.
+DEPRECATED_NAMES = (
+    "DiskFailure_",  # pre-1.0 alias of repro.faults.DiskFailure
+)
+
+
+def test_deprecated_names_do_not_resurface():
+    this_file = Path(__file__).resolve()
+    offenders = []
+    for top in SWEEP_DIRS:
+        base = ROOT / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            if path.resolve() == this_file:
+                continue
+            text = path.read_text(encoding="utf-8")
+            for name in DEPRECATED_NAMES:
+                if name in text:
+                    offenders.append(f"{path.relative_to(ROOT)}: {name}")
+    assert not offenders, (
+        "deprecated names resurfaced (see tests/test_lint.py): "
+        + ", ".join(offenders)
+    )
