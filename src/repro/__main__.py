@@ -13,6 +13,8 @@ Usage::
     python -m repro profile update     # per-operation latency budget
     python -m repro perf mixed         # host-time budget (sim-events/s)
     python -m repro perf overhead      # obs on/off overhead accounting
+    python -m repro capacity update    # bottleneck attribution report
+    python -m repro capacity update --scale   # writer sweep + ceiling fit
 
 Each command prints the measured numbers next to the paper's. For the
 full experiment set (ablations included) run
@@ -249,6 +251,69 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_capacity(args) -> int:
+    import json
+    import pathlib
+
+    from repro.obs import capacity
+    from repro.obs.export import write_trace
+
+    scenario = args.target or "update"
+    if scenario not in capacity.SCENARIOS:
+        print(f"error: unknown capacity scenario {scenario!r}")
+        print(f"known scenarios: {', '.join(sorted(capacity.SCENARIOS))}")
+        return 2
+
+    if args.scale is not None:
+        # Writer sweep + ceiling prediction, checked against the
+        # committed headline curve when one is available.
+        counts = (1, 2, 4) if args.smoke else (1, 2, 4, 8)
+        report = capacity.run_scale(
+            scenario,
+            seed=args.seed,
+            writer_counts=counts,
+            measure_ms=6_000.0 if args.smoke else 15_000.0,
+            headline=capacity.load_headline(),
+        )
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(capacity.format_scale(report))
+        error = report.get("prediction_error")
+        if error is not None and error > 0.15:
+            if not args.json:
+                print(
+                    "FAIL: predicted ceiling off the committed plateau "
+                    f"by {error * 100.0:.1f}% (> 15%)"
+                )
+            return 1
+        return 0
+
+    report = capacity.run_point(
+        scenario,
+        writers=args.writers,
+        seed=args.seed,
+        warmup_ms=1_000.0 if args.smoke else 2_000.0,
+        measure_ms=4_000.0 if args.smoke else 10_000.0,
+    )
+    sampler_events = report.pop("sampler_events")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(capacity.format_point(report))
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = out_dir / (
+        f"capacity-{scenario}-seed{report['seed']}.trace.json"
+    )
+    write_trace(sampler_events, trace_path, "chrome")
+    print(
+        f"\nwrote {trace_path}  (open in https://ui.perfetto.dev — "
+        "per-resource utilization counter tracks)"
+    )
+    return 0
+
+
 def cmd_perf(args) -> int:
     import json
     import pathlib
@@ -258,10 +323,14 @@ def cmd_perf(args) -> int:
     from repro.obs.export import write_trace
 
     scenario = args.target or "mixed"
+    scale = args.scale or "small"
+    if scale not in ("small", "medium", "large"):
+        print(f"error: unknown perf scale {scale!r}")
+        return 2
 
     if scenario == "overhead":
         result = overhead.account(
-            "mixed", args.scale, seed=args.seed, repeats=2
+            "mixed", scale, seed=args.seed, repeats=2
         )
         result["micro"] = overhead.disabled_path_micro()
         if args.json:
@@ -279,7 +348,7 @@ def cmd_perf(args) -> int:
         return 2
     run = simbench.run_perf_scenario(
         scenario,
-        scale=args.scale,
+        scale=scale,
         seed=args.seed,
         sample=args.sample,
         keep_slices=args.perfetto,
@@ -290,7 +359,7 @@ def cmd_perf(args) -> int:
         out_dir = pathlib.Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
         trace_path = out_dir / (
-            f"perf-{scenario}-{args.scale}-seed{run.seed}.trace.json"
+            f"perf-{scenario}-{scale}-seed{run.seed}.trace.json"
         )
         write_trace(run.capture.host_track_events(), trace_path, "chrome")
 
@@ -308,7 +377,7 @@ def cmd_perf(args) -> int:
         )
     else:
         title = (
-            f"host-time budget — scenario={scenario} scale={args.scale} "
+            f"host-time budget — scenario={scenario} scale={scale} "
             f"seed={run.seed} ({run.ops} ops, {run.sim_ms:.0f} sim-ms)"
         )
         print(hostprof.format_report(report, title))
@@ -407,9 +476,18 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--scale",
-        choices=["small", "medium", "large"],
-        default="small",
-        help="perf: workload scale (clients × measurement window)",
+        nargs="?",
+        const="sweep",
+        default=None,
+        help="perf: workload scale (small | medium | large, default "
+        "small); capacity: bare --scale runs the writer sweep + "
+        "ceiling prediction",
+    )
+    parser.add_argument(
+        "--writers",
+        type=int,
+        default=4,
+        help="capacity: closed-loop writer count for a single-point run",
     )
     parser.add_argument(
         "--perfetto",
@@ -420,7 +498,7 @@ def main(argv=None) -> int:
         "command",
         choices=[
             "fig7", "fig8", "fig9", "all", "demo", "chaos", "trace",
-            "profile", "perf",
+            "profile", "perf", "capacity",
         ],
         help="which artifact to regenerate",
     )
@@ -428,7 +506,7 @@ def main(argv=None) -> int:
         "target",
         nargs="?",
         default=None,
-        help="trace/profile: scenario to record "
+        help="trace/profile/capacity: scenario to run "
         "(update | nvram-update | lookup); "
         "perf: lookup | update | mixed | overhead",
     )
@@ -443,6 +521,7 @@ def main(argv=None) -> int:
         "trace": cmd_trace,
         "profile": cmd_profile,
         "perf": cmd_perf,
+        "capacity": cmd_capacity,
     }[args.command]
     return handler(args)
 

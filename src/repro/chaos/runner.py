@@ -37,6 +37,7 @@ from repro.chaos.nemesis import build_nemesis
 from repro.errors import DirectoryError, ReproError, SimulationError
 from repro.faults.plan import FaultPlan
 from repro.net.policy import Drop, Duplicate, Delay, LinkFilter, Reorder
+from repro.obs.capacity import utilization_summary
 from repro.obs.export import to_jsonl
 from repro.obs.monitor import HealthMonitor, thresholds_with
 from repro.rpc.client import RpcTimings
@@ -161,6 +162,11 @@ class ScenarioVerdict:
     #: Remediation audit trail (repro.recovery), when the scenario ran
     #: a controller: one dict per action, in execution order.
     remediation_actions: list = field(default_factory=list)
+    #: Whole-run mean utilization per resource kind (max across nodes),
+    #: from repro.obs.capacity.utilization_summary — the saturation
+    #: observatory's cheap verdict-time rollup: e.g. a nemesis run that
+    #: passes but shows disk at 0.97 was near its capacity ceiling.
+    utilization: dict = field(default_factory=dict)
     #: Host wallclock (ms) spent on this run, by phase: "build" (boot +
     #: wait operational + fault-plan arming), "run" (the simulated
     #: window incl. settle/re-form), "verify" (invariant checks), and
@@ -196,6 +202,7 @@ class ScenarioVerdict:
                 "alerts_in_fault_window": self.alerts_in_fault_window,
             },
             "remediation_actions": _plain(self.remediation_actions),
+            "utilization": _plain(self.utilization),
             "host_ms": {k: round(v, 1) for k, v in self.host_ms.items()},
         }
         if self.report is not None:
@@ -1041,6 +1048,7 @@ def _run(
         remediation_actions=(
             [dict(a) for a in controller.actions] if controller else []
         ),
+        utilization=utilization_summary(sim.obs.registry, sim.now),
         host_ms={
             "build": (host_built - host_t0) / 1e6,
             "run": (host_ran - host_built) / 1e6,
@@ -1115,15 +1123,20 @@ def run_suite(
 def format_verdicts(verdicts: list[ScenarioVerdict]) -> str:
     lines = [
         f"{'seed':>6}  {'scenario':<28}{'verdict':<14}{'faults':>7}"
-        f"  {'up':>3}  {'host-s':>7}  problems"
+        f"  {'up':>3}  {'busiest':<12}  {'host-s':>7}  problems"
     ]
     for v in verdicts:
         up = "-" if v.report is None else str(v.report.operational)
         host = v.host_ms.get("total")
+        if v.utilization:
+            kind, rho = max(v.utilization.items(), key=lambda kv: (kv[1], kv[0]))
+            busiest = f"{kind}:{rho:.2f}"
+        else:
+            busiest = "-"
         lines.append(
             f"{v.seed:>6}  {v.scenario:<28}"
             f"{v.status + ('' if v.ok else ' (!)'):<14}"
-            f"{len(v.fault_log):>7}  {up:>3}  "
+            f"{len(v.fault_log):>7}  {up:>3}  {busiest:<12}  "
             f"{(host / 1e3 if host else 0):>7.1f}  "
             + ("; ".join(v.problems[:2]) if v.problems else "-")
         )

@@ -64,6 +64,11 @@ class NvramDirectoryServer(GroupDirectoryServer):
         self._dirty_sessions: set[str] = set()  # unflushed session entries
         self._last_update_at = 0.0
         self._flush_requested = False
+        # Persist-stage accounting (capacity sampler): sim-time spent
+        # in the NVRAM commit path — programmed I/O, annihilation CPU,
+        # and pressure flushes (docs/OBSERVABILITY.md §10).
+        self._c_persist_busy = self.sim.obs.registry.counter(
+            str(self.me), "dir.persist_busy_ms")
 
     def start(self) -> None:
         super().start()
@@ -78,9 +83,11 @@ class NvramDirectoryServer(GroupDirectoryServer):
     def _persist_effects(self, op, effects, lineage=None):
         if not (effects.touched or effects.deleted or effects.sessions):
             return  # dedup hit: replayed reply, nothing to log
-        self._last_update_at = self.sim.now
+        started = self.sim.now
+        self._last_update_at = started
         if self._try_annihilate(op):
             yield from self.transport.cpu.use(ANNIHILATION_CPU_MS)
+            self._c_persist_busy.inc(self.sim.now - started)
             return
         record = NvramRecord(
             key=self._record_key(op),
@@ -106,6 +113,7 @@ class NvramDirectoryServer(GroupDirectoryServer):
             self._dirty.discard(obj)
             self._deleted_dirty.add(obj)
         self._dirty_sessions.update(effects.sessions)
+        self._c_persist_busy.inc(self.sim.now - started)
 
     def _persist_batch(self, items, lineage=None):
         """Batched commit path: the whole batch's log appends go to
@@ -115,7 +123,8 @@ class NvramDirectoryServer(GroupDirectoryServer):
         order so in-batch annihilation — an append whose delete
         arrives a few slots later — behaves exactly as it would have
         one record at a time."""
-        self._last_update_at = self.sim.now
+        started = self.sim.now
+        self._last_update_at = started
         owed_cpu_ms = 0.0
         for item in items:
             op = item.op
@@ -153,6 +162,7 @@ class NvramDirectoryServer(GroupDirectoryServer):
             self._dirty_sessions.update(item.effects.sessions)
         if owed_cpu_ms:
             yield from self.transport.cpu.use(owed_cpu_ms)
+        self._c_persist_busy.inc(self.sim.now - started)
 
     def _record_key(self, op, seqno=None, next_object=None):
         """The annihilation key; *seqno*/*next_object* are the state

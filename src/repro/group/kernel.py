@@ -26,8 +26,9 @@ handlers and timer callbacks. The blocking primitives live in
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Deque
 
 from repro.errors import GroupFailure
 from repro.rpc.transport import Transport
@@ -124,6 +125,20 @@ class GroupKernel:
         #: Sim-time of the last heartbeat evidence (sequencer: own
         #: tick; member: hb received). Staleness = now - value.
         self._g_last_hb = registry.gauge(node, "group.last_heartbeat_ms")
+        # Sequencer-path pipeline accounting (docs/OBSERVABILITY.md §10):
+        # the pipeline is "busy" while this member, acting as sequencer,
+        # holds sequenced-but-untaken messages (received > taken), i.e.
+        # while the backlog gauge above is positive on the sequencer.
+        # seq_busy_ms integrates that; seq_sojourn_ms sums per-message
+        # residence (sequenced -> taken), so sojourn/delivered is the
+        # pipeline's W and busy/delivered its service time.
+        self._c_seq_busy = registry.counter(node, "group.seq_busy_ms")
+        self._c_seq_sojourn = registry.counter(node, "group.seq_sojourn_ms")
+        #: Sequencing sim-time of the oldest in-flight message (0.0 when
+        #: the pipeline is idle); backlog age = now - value when > 0.
+        self._g_seq_oldest = registry.gauge(node, "group.seq_oldest_ms")
+        self._seq_pipe: Deque[tuple[int, float]] = deque()
+        self._seq_busy_since: float | None = None
 
         # Membership.
         self.state = STATE_IDLE
@@ -200,6 +215,7 @@ class GroupKernel:
         """Tear the kernel down with its machine."""
         self._dead = True
         self.state = STATE_IDLE
+        self._seq_account()
         if self._ticker is not None:
             self._ticker.kill("kernel crash")
             self._ticker = None
@@ -220,6 +236,46 @@ class GroupKernel:
     def _update_backlog(self) -> None:
         """Refresh the ``group.backlog`` gauge after received/taken moved."""
         self._g_backlog.set(self.received - self.taken)
+        self._seq_account()
+
+    def _seq_account(self) -> None:
+        """Settle sequencer-pipeline busy time and per-message sojourns.
+
+        Called whenever received/taken move and on every role change.
+        Busy time is flushed incrementally (not only when the pipeline
+        drains) so windowed readers — the health monitor's
+        ``group.seq_utilization`` signal and the capacity attributor —
+        see a counter that is current to the last pipeline event even
+        during a long saturated stretch.
+        """
+        pipe = self._seq_pipe
+        if not pipe and self._seq_busy_since is None:
+            return  # non-sequencer members and the idle steady state
+        now = self.sim.now
+        taken = self.taken
+        while pipe and pipe[0][0] <= taken:
+            self._c_seq_sojourn.inc(now - pipe.popleft()[1])
+        role_ok = self.state == STATE_MEMBER and self.me == self.sequencer
+        if pipe and role_ok:
+            since = self._seq_busy_since
+            if since is None:
+                self._seq_busy_since = now
+            elif now > since:
+                self._c_seq_busy.inc(now - since)
+                self._seq_busy_since = now
+            head = pipe[0][1]
+            if self._g_seq_oldest.value != head:
+                self._g_seq_oldest.set(head)
+        else:
+            if self._seq_busy_since is not None:
+                self._c_seq_busy.inc(now - self._seq_busy_since)
+                self._seq_busy_since = None
+            if not role_ok:
+                # Role lost mid-flight: drop unfinished sojourns rather
+                # than attribute the handover gap to sequencing.
+                pipe.clear()
+            if self._g_seq_oldest.value != 0.0:
+                self._g_seq_oldest.set(0.0)
 
     def _note_heartbeat(self) -> None:
         """Stamp heartbeat evidence (field + gauge) at the current time."""
@@ -256,6 +312,7 @@ class GroupKernel:
         self.history.clear()
         self.sequenced_ids.clear()
         self.received = self.committed = self.taken = -1
+        self._seq_pipe.clear()
         self._update_backlog()
         self.next_assign = 0
         self.ack_progress = {}
@@ -419,6 +476,8 @@ class GroupKernel:
         self.history[seqno] = record
         self.sequenced_ids[msg_id] = seqno
         self._c_sequenced.inc()
+        self._seq_pipe.append((seqno, self.sim.now))
+        self._seq_account()
         if self._obs.tracer.enabled:
             self._obs.tracer.emit(
                 str(self.me), "group", "grp.sequence",
@@ -759,6 +818,7 @@ class GroupKernel:
             return
         self.state = STATE_FAILED
         self.failure_reason = reason
+        self._seq_account()
         self._c_failures.inc()
         if self._obs.tracer.enabled:
             self._obs.tracer.emit(
@@ -821,6 +881,7 @@ class GroupKernel:
                 next_assign=self.next_assign,
             )
             self.state = STATE_IDLE
+            self._seq_account()
             self._log_view("handover", view=new_view, sequencer=new_sequencer)
             self.wakeup.notify_all()
         else:
@@ -937,6 +998,9 @@ class GroupKernel:
         self._note_heartbeat()
         self._promise = (self.incarnation, "")
         self._c_views.inc()
+        # Settle pipeline accounting under the adopted role: a handover
+        # away from us flushes + clears, toward us starts busy tracking.
+        self._seq_account()
         self._log_view("join" if joining else "adopt")
         if self._obs.tracer.enabled:
             self._obs.tracer.emit(
@@ -973,6 +1037,10 @@ class GroupKernel:
         for seqno in stale:
             record = self.history.pop(seqno)
             self.sequenced_ids.pop(record.msg_id, None)
+        # Dropped records never deliver; without this their pipeline
+        # entries would double-count sojourn when seqnos are reassigned.
+        while self._seq_pipe and self._seq_pipe[-1][0] > self.received:
+            self._seq_pipe.pop()
 
     # ------------------------------------------------------------------
     # reset (coordinator arbitration + vote collection)

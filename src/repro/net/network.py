@@ -116,6 +116,16 @@ class Network:
         self._c_duplicated = registry.counter("net", "net.frames_duplicated")
         self._c_reordered = registry.counter("net", "net.frames_reordered")
         self._c_policy_drops = registry.counter("net", "net.policy_drops")
+        # Segment occupancy: transmit_time (size-proportional, jitter
+        # excluded) summed over every frame put on the wire. A window
+        # delta over the window length is the segment's offered-load
+        # fraction; it can exceed 1.0 because the model does not make
+        # senders contend for the cable (docs/OBSERVABILITY.md §10).
+        self._c_wire = registry.counter("net", "net.wire_ms")
+        self._registry = registry
+        # Per-directed-link counters, created lazily on first delivery
+        # under the pseudo-node "link(src->dst)".
+        self._link_meters: dict[tuple, tuple] = {}
         self._nics: dict[Address, "Nic"] = {}
         # Per (src, dst) pair: last scheduled arrival time. A single
         # Ethernet segment serializes frames, so delivery between a
@@ -213,7 +223,9 @@ class Network:
                     dst=str(dst), kind=kind, reason="loss",
                 )
             return
-        delay = self.latency.network.transmit_time(size) + self._jitter()
+        wire_ms = self.latency.network.transmit_time(size)
+        self._c_wire.inc(wire_ms)
+        delay = wire_ms + self._jitter()
         if dst == BROADCAST:
             receivers: Iterable[Address] = [a for a in self._nics if a != src]
             multicast = True
@@ -252,6 +264,16 @@ class Network:
                     self._c_duplicated.inc(decision.duplicates)
             packet = Packet(src, receiver, kind, payload, size, multicast)
             pair = (src, receiver)
+            link = self._link_meters.get(pair)
+            if link is None:
+                link_node = f"link({src}->{receiver})"
+                link = (
+                    self._registry.counter(link_node, "net.bytes"),
+                    self._registry.counter(link_node, "net.busy_ms"),
+                )
+                self._link_meters[pair] = link
+            link[0].inc(size)
+            link[1].inc(wire_ms)
             previous = self._last_arrival.get(pair, 0.0)
             if decision is not None and decision.allow_reorder:
                 # Exempt from per-pair FIFO: this delivery may be

@@ -1,0 +1,464 @@
+"""Queueing-theoretic bottleneck attribution and capacity prediction.
+
+Runs a closed-loop scenario (the bench harness's Fig. 8/9 workloads)
+with the saturation sampler on, differences registry marks across the
+measurement window, and reports, per resource:
+
+* utilization ``rho = busy_ms / window_ms``;
+* throughput ``lambda`` (completions/s) and service time ``S = busy /
+  completions``;
+* mean queue depth ``L`` (time-weighted gauge mean over the window) and
+  residence ``W``, cross-checked by the **Little's-law residual**
+  ``|L - lambda*W| / max(L, lambda*W)`` — a self-test of the
+  instrumentation: the queue gauge and the wait/busy counters are
+  independent measurements of the same flow, so a residual above a few
+  percent means an accounting bug, not a property of the system.
+
+Resources are ranked by rho; the top-ranked resource's utilization law
+gives the capacity ceiling: at saturation ``rho -> 1``, so the
+workload ceiling is ``X / rho`` ops/s — equivalently ``1/S`` resource
+completions/s scaled by completions-per-op. ``--scale`` sweeps the
+writer count (at ``batch_max=1``, the paper's unbatched Fig. 9 curve),
+fits the measured throughput curve against the predicted ceiling, and
+compares the prediction to the committed BENCH_headline.json plateau.
+
+Everything is deterministic: reports are seeded sim output only (no
+wall-clock, no host ordering), so same-seed reports are byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.bench.harness import build_deployment
+from repro.obs.saturation import DEFAULT_INTERVAL_MS, SaturationSampler
+from repro.workloads.clients import ClosedLoopClient
+from repro.workloads.generators import append_delete_once, lookup_once
+from repro.workloads.metrics import Metrics
+
+#: scenario -> (implementation, operation kind)
+SCENARIOS = {
+    "update": ("group", "pair"),
+    "nvram-update": ("nvram", "pair"),
+    "lookup": ("group", "lookup"),
+}
+
+#: Below this activity (queue depth / expected depth) the Little
+#: residual is reported as 0.0: an idle resource's L and lambda*W are
+#: both numerical noise and their ratio means nothing.
+RESIDUAL_FLOOR = 0.05
+
+#: Per-resource instrument sets. ``wait_is_sojourn`` marks resources
+#: whose wait counter already includes service (the sequencer pipeline
+#: logs full residence per message); for semaphore-metered resources
+#: W = (wait + busy) / completions instead.
+RESOURCE_SPECS = (
+    {"kind": "seq", "busy": "group.seq_busy_ms", "done": "group.delivered",
+     "wait": "group.seq_sojourn_ms", "queue": "group.backlog",
+     "wait_is_sojourn": True, "requires_busy": True},
+    {"kind": "cpu", "busy": "cpu.busy_ms", "done": "cpu.grants",
+     "wait": "cpu.wait_ms", "queue": "cpu.queue_depth",
+     "wait_is_sojourn": False},
+    {"kind": "disk", "busy": "disk.arm.busy_ms", "done": "disk.arm.grants",
+     "wait": "disk.arm.wait_ms", "queue": "disk.arm.queue_depth",
+     "wait_is_sojourn": False},
+    {"kind": "nvram", "busy": "nvram.busy_ms", "done": "nvram.appends",
+     "wait": None, "queue": None, "wait_is_sojourn": False},
+    {"kind": "wire", "busy": "net.wire_ms", "done": "net.frames_sent",
+     "wait": None, "queue": None, "wait_is_sojourn": False},
+)
+
+#: Ranking tie-break: the pipeline stage closest to the protocol wins
+#: over raw devices at equal rho (it subsumes their time).
+_KIND_PRIORITY = {"seq": 0, "cpu": 1, "disk": 2, "nvram": 3, "wire": 4}
+
+
+@dataclass
+class ResourceStats:
+    """One resource's queueing picture over a measurement window."""
+
+    kind: str
+    node: str
+    utilization: float  # rho
+    throughput_per_s: float  # lambda (completions/s)
+    service_ms: float  # S
+    queue_depth: float | None  # L (None: resource has no queue gauge)
+    residence_ms: float | None  # W
+    little_residual: float | None  # |L - lambda W| / max(L, lambda W)
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind}({self.node})"
+
+    def as_dict(self) -> dict:
+        return {
+            "resource": self.label,
+            "kind": self.kind,
+            "node": self.node,
+            "utilization": self.utilization,
+            "throughput_per_s": self.throughput_per_s,
+            "service_ms": self.service_ms,
+            "queue_depth": self.queue_depth,
+            "residence_ms": self.residence_ms,
+            "little_residual": self.little_residual,
+        }
+
+
+@dataclass
+class RegistryMarks:
+    """Counter values + gauge areas captured at one instant."""
+
+    t_ms: float
+    counters: dict = field(default_factory=dict)
+    areas: dict = field(default_factory=dict)
+
+    @classmethod
+    def capture(cls, registry, now: float) -> "RegistryMarks":
+        return cls(t_ms=now, counters=registry.counter_values(),
+                   areas=registry.gauge_areas())
+
+
+def window_stats(marks0: RegistryMarks, marks1: RegistryMarks) -> list[ResourceStats]:
+    """Per-resource queueing stats from two registry captures, ranked
+    by utilization (ties break toward the protocol pipeline)."""
+    dt = marks1.t_ms - marks0.t_ms
+    if dt <= 0.0:
+        return []
+    out: list[ResourceStats] = []
+    for spec in RESOURCE_SPECS:
+        busy_name = spec["busy"]
+        nodes = sorted(
+            node for (node, name) in marks1.counters if name == busy_name)
+        for node in nodes:
+            def cdelta(metric: str) -> float:
+                key = (node, metric)
+                return marks1.counters.get(key, 0.0) - marks0.counters.get(key, 0.0)
+
+            busy = cdelta(busy_name)
+            done = cdelta(spec["done"])
+            if busy <= 0.0 and spec.get("requires_busy"):
+                # Non-sequencer members deliver records but run no
+                # pipeline; their backlog gauge measures replica lag.
+                continue
+            rho = busy / dt
+            lam = done * 1000.0 / dt
+            service = busy / done if done > 0 else 0.0
+            queue_mean = None
+            residence = None
+            residual = None
+            if spec["queue"] is not None:
+                key = (node, spec["queue"])
+                if key in marks1.areas:
+                    queue_mean = (
+                        marks1.areas[key] - marks0.areas.get(key, 0.0)) / dt
+                if done > 0:
+                    wait = cdelta(spec["wait"])
+                    residence = (
+                        wait if spec["wait_is_sojourn"] else wait + busy) / done
+                if queue_mean is not None and residence is not None:
+                    expected = lam * residence / 1000.0  # Little: L = lambda W
+                    denom = max(queue_mean, expected)
+                    residual = (
+                        0.0 if denom < RESIDUAL_FLOOR
+                        else abs(queue_mean - expected) / denom
+                    )
+            if busy <= 0.0 and done <= 0:
+                continue  # resource never exercised in this window
+            out.append(ResourceStats(
+                kind=spec["kind"], node=node,
+                utilization=round(rho, 6),
+                throughput_per_s=round(lam, 6),
+                service_ms=round(service, 6),
+                queue_depth=None if queue_mean is None else round(queue_mean, 6),
+                residence_ms=None if residence is None else round(residence, 6),
+                little_residual=None if residual is None else round(residual, 6),
+            ))
+    out.sort(key=lambda r: (-r.utilization, _KIND_PRIORITY[r.kind], r.label))
+    return out
+
+
+def utilization_summary(registry, elapsed_ms: float) -> dict:
+    """Whole-run mean utilization per resource kind (max across nodes).
+
+    Used by the chaos runner's verdicts: cheap (one registry pass), no
+    sampler required, deterministic.
+    """
+    out: dict[str, float] = {}
+    for spec in RESOURCE_SPECS:
+        best = 0.0
+        for _node, counter in registry.find_counters(spec["busy"]):
+            if elapsed_ms > 0.0:
+                best = max(best, counter.value / elapsed_ms)
+        out[spec["kind"]] = round(best, 4)
+    return out
+
+
+# ----------------------------------------------------------------------
+# closed-loop capacity runs
+# ----------------------------------------------------------------------
+
+def run_point(
+    scenario: str,
+    writers: int,
+    seed: int = 0,
+    warmup_ms: float = 2_000.0,
+    measure_ms: float = 10_000.0,
+    batch_max: int | None = None,
+    sample_interval_ms: float = DEFAULT_INTERVAL_MS,
+) -> dict:
+    """One closed-loop run: throughput + ranked resource stats.
+
+    Mirrors :func:`repro.bench.harness.update_throughput` (same client
+    loop, same warmup/measure phasing) but captures registry marks at
+    the window edges and runs the saturation sampler inside it.
+    """
+    if scenario not in SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {scenario!r} (have {sorted(SCENARIOS)})")
+    impl, op_kind = SCENARIOS[scenario]
+    deploy_kwargs = {} if batch_max is None else {"batch_max": batch_max}
+    deployment = build_deployment(impl, seed=seed, **deploy_kwargs)
+    sim = deployment.sim
+    root = deployment.root
+    metrics = Metrics()
+
+    setup_client = deployment.add_client("setup")
+    target_holder: dict = {}
+
+    def setup():
+        target_holder["cap"] = yield from setup_client.create_dir()
+        if op_kind == "lookup":
+            yield from setup_client.append_row(
+                root, "hot-name", (target_holder["cap"],))
+
+    deployment.cluster.run_process(setup())
+    target = target_holder["cap"]
+
+    clients = []
+    for i in range(writers):
+        directory_client = deployment.add_client(f"load{i}")
+        if op_kind == "lookup":
+            def iteration(_n, c=directory_client):
+                yield from lookup_once(c, root, "hot-name")
+        else:
+            def iteration(n, c=directory_client, tag=i):
+                yield from append_delete_once(c, root, f"w{tag}-{n}", target)
+        clients.append(
+            ClosedLoopClient(sim, f"load{i}", iteration, metrics, op_kind))
+
+    window_start = sim.now + warmup_ms
+    for client in clients:
+        client.metrics.window_start = window_start
+        client.metrics.window_end = window_start + measure_ms
+        client.start()
+    sim.run(until=window_start)
+    sampler = SaturationSampler(sim, interval_ms=sample_interval_ms).start()
+    marks0 = RegistryMarks.capture(sim.obs.registry, sim.now)
+    sim.run(until=window_start + measure_ms)
+    marks1 = RegistryMarks.capture(sim.obs.registry, sim.now)
+    sampler.stop()
+    for client in clients:
+        client.stop()
+    sim.run(until=sim.now + 2_000.0)  # drain in-flight operations
+
+    throughput = metrics.throughput_per_second(op_kind, measure_ms)
+    resources = window_stats(marks0, marks1)
+    top = resources[0] if resources else None
+    return {
+        "scenario": scenario,
+        "implementation": impl,
+        "op": op_kind,
+        "seed": seed,
+        "writers": writers,
+        "batch_max": batch_max,
+        "warmup_ms": warmup_ms,
+        "measure_ms": measure_ms,
+        "throughput_per_s": round(throughput, 6),
+        "resources": [r.as_dict() for r in resources],
+        "top_resource": None if top is None else top.label,
+        "predicted_ceiling_per_s": (
+            None if top is None or top.utilization <= 0.0
+            else round(throughput / top.utilization, 6)
+        ),
+        "sampler": sampler.as_dict(),
+        "sampler_events": sampler.counter_track_events(),
+    }
+
+
+def run_scale(
+    scenario: str,
+    seed: int = 0,
+    writer_counts: tuple[int, ...] = (1, 2, 4, 8),
+    warmup_ms: float = 2_000.0,
+    measure_ms: float = 15_000.0,
+    batch_max: int | None = 1,
+    headline: dict | None = None,
+) -> dict:
+    """Throughput-vs-writers sweep + ceiling fit.
+
+    Runs each writer count at ``batch_max`` (default 1: the unbatched
+    Fig. 9 shape whose plateau the committed headline bench records),
+    ranks resources at the peak-throughput point, and predicts the
+    saturation ceiling from the top resource's utilization law:
+    ``ceiling = X / rho`` — the throughput the curve converges to when
+    the binding resource's rho reaches 1, equivalently ``1/S`` of the
+    top resource scaled by its completions-per-op.
+    """
+    points = []
+    for n in writer_counts:
+        point = run_point(
+            scenario, n, seed=seed, warmup_ms=warmup_ms,
+            measure_ms=measure_ms, batch_max=batch_max)
+        point.pop("sampler_events")  # sweeps keep the JSON report lean
+        point.pop("sampler")
+        points.append(point)
+
+    plateau_point = max(points, key=lambda p: p["throughput_per_s"])
+    # Extrapolate from the most-saturated point (highest top-resource
+    # rho): X/rho is the utilization law, and its error shrinks as rho
+    # approaches 1 — at light load it extrapolates noise.
+    peak = max(
+        points,
+        key=lambda p: p["resources"][0]["utilization"] if p["resources"] else 0.0,
+    )
+    ranked = peak["resources"]
+    top = ranked[0] if ranked else None
+    predicted = peak["predicted_ceiling_per_s"]
+    curve = {str(p["writers"]): p["throughput_per_s"] for p in points}
+    # Per-point view of the fit: the top-ranked kind's utilization and
+    # implied ceiling at every load level — a flat implied ceiling
+    # across loads is what validates the utilization-law extrapolation.
+    fit = []
+    if top is not None:
+        for p in points:
+            match = next(
+                (r for r in p["resources"] if r["resource"] == top["resource"]),
+                None)
+            fit.append({
+                "writers": p["writers"],
+                "throughput_per_s": p["throughput_per_s"],
+                "utilization": None if match is None else match["utilization"],
+                "implied_ceiling_per_s": (
+                    None if match is None or match["utilization"] <= 0.0
+                    else round(
+                        p["throughput_per_s"] / match["utilization"], 6)
+                ),
+            })
+    report = {
+        "scenario": scenario,
+        "implementation": peak["implementation"],
+        "seed": seed,
+        "batch_max": batch_max,
+        "writer_counts": list(writer_counts),
+        "curve": curve,
+        "measured_plateau_per_s": plateau_point["throughput_per_s"],
+        "peak_writers": peak["writers"],
+        "resources_at_peak": ranked,
+        "top_resource": peak["top_resource"],
+        "predicted_ceiling_per_s": predicted,
+        "fit": fit,
+        "points": points,
+    }
+    if headline is not None and predicted is not None:
+        plateau = _headline_plateau(headline, scenario, batch_max)
+        if plateau is not None:
+            report["headline_plateau_per_s"] = plateau
+            report["prediction_error"] = round(
+                abs(predicted - plateau) / plateau, 6)
+    return report
+
+
+def _headline_plateau(headline: dict, scenario: str, batch_max: int | None):
+    """The committed writer-scaling plateau this sweep predicts against."""
+    if scenario != "update":
+        return None
+    curves = headline.get("group_commit", {}).get("pairs_per_s", {})
+    curve = curves.get("batch_max_1" if batch_max == 1 else "batched", {})
+    if not curve:
+        return None
+    return max(curve.values())
+
+
+def load_headline(path: str = "BENCH_headline.json") -> dict | None:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+
+def _resource_table(resources: list[dict]) -> list[str]:
+    lines = [
+        f"  {'resource':<22} {'rho':>7} {'X/s':>10} {'S ms':>9} "
+        f"{'L':>8} {'W ms':>10} {'resid':>7}"
+    ]
+    for r in resources:
+        fmt = lambda v, spec: "-" if v is None else format(v, spec)  # noqa: E731
+        lines.append(
+            f"  {r['resource']:<22} {r['utilization']:>7.4f} "
+            f"{r['throughput_per_s']:>10.3f} {r['service_ms']:>9.3f} "
+            f"{fmt(r['queue_depth'], '8.3f'):>8} "
+            f"{fmt(r['residence_ms'], '10.3f'):>10} "
+            f"{fmt(r['little_residual'], '7.4f'):>7}"
+        )
+    return lines
+
+
+def format_point(report: dict) -> str:
+    lines = [
+        f"capacity {report['scenario']} (impl={report['implementation']}, "
+        f"seed={report['seed']}, writers={report['writers']}, "
+        f"batch_max={report['batch_max'] or 'default'})",
+        f"  throughput: {report['throughput_per_s']:.3f} "
+        f"{report['op']}s/s over {report['measure_ms']:.0f} ms",
+        "",
+        "resources by utilization:",
+        *_resource_table(report["resources"]),
+        "",
+        f"top-ranked bottleneck: {report['top_resource']}",
+    ]
+    if report["predicted_ceiling_per_s"] is not None:
+        lines.append(
+            f"predicted ceiling (X/rho of top resource): "
+            f"{report['predicted_ceiling_per_s']:.3f} {report['op']}s/s")
+    return "\n".join(lines)
+
+
+def format_scale(report: dict) -> str:
+    lines = [
+        f"capacity {report['scenario']} --scale "
+        f"(impl={report['implementation']}, seed={report['seed']}, "
+        f"batch_max={report['batch_max'] or 'default'})",
+        "",
+        "throughput vs writers:",
+    ]
+    for entry in report["fit"]:
+        ceiling = entry["implied_ceiling_per_s"]
+        lines.append(
+            f"  {entry['writers']:>3} writers  "
+            f"{entry['throughput_per_s']:>9.3f} /s   "
+            f"rho(top)={entry['utilization'] if entry['utilization'] is not None else '-'}"
+            f"   implied ceiling={'-' if ceiling is None else format(ceiling, '.3f')}"
+        )
+    lines += [
+        "",
+        f"resources at peak ({report['peak_writers']} writers):",
+        *_resource_table(report["resources_at_peak"]),
+        "",
+        f"top-ranked bottleneck: {report['top_resource']}",
+        f"measured plateau: {report['measured_plateau_per_s']:.3f} /s",
+    ]
+    if report["predicted_ceiling_per_s"] is not None:
+        lines.append(
+            f"predicted ceiling: {report['predicted_ceiling_per_s']:.3f} /s")
+    if "headline_plateau_per_s" in report:
+        lines.append(
+            f"committed BENCH_headline plateau: "
+            f"{report['headline_plateau_per_s']:.3f} /s "
+            f"(prediction error {report['prediction_error'] * 100.0:.1f}%)")
+    return "\n".join(lines)

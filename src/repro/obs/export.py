@@ -103,6 +103,10 @@ def to_chrome_trace(events: Iterable[TraceEvent]) -> dict:
         if event.ph == "X":
             entry["ph"] = "X"
             entry["dur"] = round(event.dur * 1000.0, 3)
+        elif event.ph == "C":
+            # Counter track (saturation sampler): Perfetto plots each
+            # args key as a series on a per-process counter lane.
+            entry["ph"] = "C"
         else:
             entry["ph"] = "i"
             entry["s"] = "t"  # instant scoped to its thread

@@ -32,6 +32,11 @@ Signals (see docs/OBSERVABILITY.md, "Health monitoring"):
                             durable storage — detected checksum failures
                             plus (on legacy, integrity-off media) corrupt
                             bytes silently served or replayed
+``group.seq_utilization``   fraction of the window the node spent as the
+                            busy sequencer (pipeline non-empty) — the
+                            saturation signal the remediation controller's
+                            scale policy consults (docs/OBSERVABILITY.md
+                            §10)
 ========================    =================================================
 
 Gauges are sampled by *area differencing*: the window mean over
@@ -114,6 +119,19 @@ DEFAULT_THRESHOLDS = (
     Threshold(
         "storage.corrupt_rate", 1.9, 0.1, "events/s",
         "storage-corruption evidence (detections + corrupt bytes served)",
+    ),
+    # Sequencer saturation: the windowed delta of the sequencer's
+    # busy-time counter over the window length — the fraction of the
+    # last 500 ms this node spent with sequenced-but-undelivered
+    # messages in flight while holding the sequencer role. A pipeline
+    # that is never empty for a whole window (>= 0.95) means offered
+    # load is at or beyond the ordering path's capacity ceiling
+    # (docs/OBSERVABILITY.md §10); chaos workloads on a healthy group
+    # keep it well under 0.5, which doubles as the clear line so the
+    # remediation controller sees a crisp saturated/unsaturated edge.
+    Threshold(
+        "group.seq_utilization", 0.95, 0.5, "frac",
+        "fraction of the window spent sequencing (pipeline non-empty)",
     ),
 )
 
@@ -232,6 +250,7 @@ class HealthMonitor:
             "group.retrans_requested",
             "session.cache_hits",
             "group.views_adopted",
+            "group.seq_busy_ms",
             *CORRUPTION_METRICS,
         ):
             for node, counter in self.registry.find_counters(metric):
@@ -277,6 +296,15 @@ class HealthMonitor:
                     if dt_ms > 0.0
                     else 0.0
                 )
+        # Utilization is a busy-ms delta over a ms window: the plain
+        # ratio, not a *1000 rate like the counters above.
+        for node, counter in self.registry.find_counters("group.seq_busy_ms"):
+            prev = self._counter_marks.get((node, "group.seq_busy_ms"),
+                                           counter.value)
+            self._counter_marks[(node, "group.seq_busy_ms")] = counter.value
+            samples[(node, "group.seq_utilization")] = (
+                (counter.value - prev) / dt_ms if dt_ms > 0.0 else 0.0
+            )
         corrupt: dict = {}
         for metric in CORRUPTION_METRICS:
             for node, counter in self.registry.find_counters(metric):

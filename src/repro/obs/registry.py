@@ -213,6 +213,22 @@ class MetricsRegistry:
             key=lambda pair: pair[0],
         )
 
+    def counter_values(self) -> Dict[Tuple[str, str], float]:
+        """Copy of every counter's current value, keyed by (node, name).
+
+        The capacity attributor captures this at window boundaries and
+        differences the two captures (docs/OBSERVABILITY.md §10).
+        """
+        return {key: c.value for key, c in self._counters.items()}
+
+    def gauge_areas(self) -> Dict[Tuple[str, str], float]:
+        """Copy of every gauge's running time-integral, extended to now.
+
+        Differencing two captures over a window and dividing by the
+        window length yields the exact time-weighted window mean.
+        """
+        return {key: g.area() for key, g in self._gauges.items()}
+
     def nodes(self) -> list[str]:
         seen = {node for node, _ in self._counters}
         seen.update(node for node, _ in self._gauges)

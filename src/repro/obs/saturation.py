@@ -1,0 +1,200 @@
+"""Ring-buffered utilization time series over the metrics registry.
+
+The :class:`SaturationSampler` is a plain simulated process that wakes
+at a fixed sim interval and turns the registry's always-on resource
+accounting into derived series (docs/OBSERVABILITY.md §10):
+
+* **rho** — busy-counter deltas over the interval (``cpu.busy_ms`` →
+  ``cpu.rho`` and friends): the fraction of the interval each resource
+  spent busy;
+* **rates** — completion-counter deltas per second (grants, delivered
+  records, NVRAM appends, link bytes);
+* **queues** — exact time-weighted window means of queue-depth gauges
+  (via gauge-area differencing);
+* **ages** — the sequencer pipeline's backlog age, i.e. how long the
+  oldest sequenced-but-undelivered message has been in flight.
+
+The sampler holds a bounded ring of samples (oldest evicted first) and
+renders them on demand as Perfetto counter-track events (``ph: "C"``)
+so a capacity run's trace shows utilization timelines next to the span
+profiler's slices.
+
+Passivity: nothing here runs unless :meth:`SaturationSampler.start` is
+called, and a tick only *reads* the registry — it creates no
+instruments and mutates none, so a sampled run's schedule digest
+differs from an unsampled one only by the sampler's own wakeups, and a
+run that never starts the sampler is byte-identical to one without
+this module (the BENCH_sim obs-off gate relies on that).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.obs.trace import TraceEvent
+
+if TYPE_CHECKING:
+    from repro.sim.scheduler import Simulator
+
+#: Default sampling cadence (sim ms).
+DEFAULT_INTERVAL_MS = 250.0
+#: Default ring capacity (samples kept; oldest evicted first).
+DEFAULT_CAPACITY = 4096
+
+#: Busy-time counters -> utilization series (delta / interval).
+BUSY_SERIES = (
+    ("cpu.busy_ms", "cpu.rho"),
+    ("disk.arm.busy_ms", "disk.arm.rho"),
+    ("nvram.busy_ms", "nvram.rho"),
+    ("group.seq_busy_ms", "group.seq.rho"),
+    ("dir.apply_busy_ms", "dir.apply.rho"),
+    ("dir.persist_busy_ms", "dir.persist.rho"),
+    ("net.wire_ms", "net.wire.rho"),
+    ("net.busy_ms", "net.link.rho"),
+)
+
+#: Completion counters -> per-second rate series (delta * 1000 / dt).
+RATE_SERIES = (
+    ("cpu.grants", "cpu.grants_per_s"),
+    ("disk.arm.grants", "disk.grants_per_s"),
+    ("nvram.appends", "nvram.appends_per_s"),
+    ("group.delivered", "group.delivered_per_s"),
+    ("dir.applied_records", "dir.applied_per_s"),
+    ("net.bytes_sent", "net.bytes_per_s"),
+    ("net.bytes", "net.bytes_per_s"),
+)
+
+#: Queue-depth gauges sampled as exact window means (area differencing).
+QUEUE_SERIES = (
+    "cpu.queue_depth",
+    "disk.arm.queue_depth",
+    "disk.queue_depth",
+    "group.backlog",
+)
+
+#: Timestamp gauges -> age series (now - value when value > 0).
+AGE_SERIES = (
+    ("group.seq_oldest_ms", "group.backlog_age_ms"),
+)
+
+
+class SaturationSampler:
+    """Fixed-interval utilization sampler over one simulator's registry."""
+
+    def __init__(self, sim: "Simulator",
+                 interval_ms: float = DEFAULT_INTERVAL_MS,
+                 capacity: int = DEFAULT_CAPACITY):
+        if interval_ms <= 0.0:
+            raise ValueError("sampling interval must be positive")
+        self.sim = sim
+        self.registry = sim.obs.registry
+        self.interval_ms = interval_ms
+        self.capacity = capacity
+        self.samples: deque[dict] = deque(maxlen=capacity)
+        self.dropped = 0
+        self._prev_counters: dict | None = None
+        self._prev_areas: dict | None = None
+        self._prev_t = 0.0
+        self._process = None
+
+    @property
+    def running(self) -> bool:
+        return self._process is not None and not self._process.resolved
+
+    def start(self) -> "SaturationSampler":
+        """Begin sampling; the first tick fires one interval from now."""
+        if self.running:
+            return self
+        self._prev_counters = self.registry.counter_values()
+        self._prev_areas = self.registry.gauge_areas()
+        self._prev_t = self.sim.now
+        self._process = self.sim.spawn(self._run(), "obs.saturation")
+        return self
+
+    def stop(self) -> None:
+        """Take a final partial-interval sample and stop the process."""
+        if not self.running:
+            return
+        if self.sim.now > self._prev_t:
+            self.tick()
+        self._process.kill("saturation sampler stopped")
+        self._process = None
+
+    def _run(self):
+        while True:
+            yield self.sim.sleep(self.interval_ms)
+            self.tick()
+
+    def tick(self) -> dict:
+        """Take one sample now (also called internally every interval)."""
+        now = self.sim.now
+        counters = self.registry.counter_values()
+        areas = self.registry.gauge_areas()
+        dt = now - self._prev_t
+        series: dict[str, float] = {}
+        if dt > 0.0:
+            prev_c = self._prev_counters
+            for metric, out_name in BUSY_SERIES:
+                for (node, name), value in counters.items():
+                    if name == metric:
+                        delta = value - prev_c.get((node, name), 0.0)
+                        series[f"{node}:{out_name}"] = round(delta / dt, 6)
+            for metric, out_name in RATE_SERIES:
+                for (node, name), value in counters.items():
+                    if name == metric:
+                        delta = value - prev_c.get((node, name), 0.0)
+                        series[f"{node}:{out_name}"] = round(
+                            delta * 1000.0 / dt, 6)
+            prev_a = self._prev_areas
+            for metric in QUEUE_SERIES:
+                for (node, name), area in areas.items():
+                    if name == metric:
+                        delta = area - prev_a.get((node, name), 0.0)
+                        series[f"{node}:{metric}"] = round(delta / dt, 6)
+        for metric, out_name in AGE_SERIES:
+            for (node, g) in self.registry.find_gauges(metric):
+                age = now - g.value if g.value > 0.0 else 0.0
+                series[f"{node}:{out_name}"] = round(age, 6)
+        if len(self.samples) == self.samples.maxlen:
+            self.dropped += 1
+        sample = {"t_ms": round(now, 6), "series": series}
+        self.samples.append(sample)
+        self._prev_counters = counters
+        self._prev_areas = areas
+        self._prev_t = now
+        return sample
+
+    # -- export -----------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """Deterministic snapshot of the ring (series keys sorted)."""
+        return {
+            "interval_ms": self.interval_ms,
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+            "samples": [
+                {
+                    "t_ms": s["t_ms"],
+                    "series": dict(sorted(s["series"].items())),
+                }
+                for s in self.samples
+            ],
+        }
+
+    def counter_track_events(self) -> list[TraceEvent]:
+        """The ring as Perfetto counter-track events (``ph: "C"``).
+
+        One event per (sample, series); the exporter groups them into
+        per-node counter tracks next to the span slices.
+        """
+        events: list[TraceEvent] = []
+        for sample in self.samples:
+            ts = sample["t_ms"]
+            for key in sorted(sample["series"]):
+                node, metric = key.split(":", 1)
+                events.append(TraceEvent(
+                    ts=ts, node=node, cat="saturation", name=metric,
+                    ph="C", args={"value": sample["series"][key]},
+                ))
+        return events

@@ -53,6 +53,13 @@ RETRANS = "group.retrans_rate"
 #: node is the damaged *storage device* (disk or NVRAM board), not a
 #: server address — the controller maps it back to the owning site.
 CORRUPTION = "storage.corrupt_rate"
+#: Alert signal that accelerates the resilience scale-back policy: a
+#: saturated sequencer (docs/OBSERVABILITY.md §10) means every extra
+#: resilience degree is costing throughput the group does not have, so
+#: once retransmission pressure is gone the controller returns to the
+#: declared degree after the (short) scale window instead of waiting
+#: out the full quiet window.
+SATURATION = "group.seq_utilization"
 
 
 @dataclass(frozen=True)
@@ -315,11 +322,23 @@ class RemediationController:
         else:
             if self._retrans_quiet_since is None:
                 self._retrans_quiet_since = now
-            elif (
+                return
+            # A saturated sequencer makes the raised degree actively
+            # harmful (each message costs more ordering work the group
+            # has no headroom for): shorten the quiet window to the
+            # scale-up trigger window instead of the full cool-off.
+            saturated = any(
+                signal == SATURATION for (_node, signal) in self._active_since
+            )
+            needed = (
+                self.policy.scale_after_ms
+                if saturated
+                else self.policy.scale_back_after_quiet_ms
+            )
+            if (
                 cfg.resilience > declared
                 and not self._scaling
-                and now - self._retrans_quiet_since
-                >= self.policy.scale_back_after_quiet_ms
+                and now - self._retrans_quiet_since >= needed
                 and cooled
             ):
                 self._last_scale_at = now

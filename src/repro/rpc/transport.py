@@ -24,7 +24,7 @@ class Transport:
     def __init__(self, sim: Simulator, nic: Nic, cpu: Cpu | None = None):
         self.sim = sim
         self.nic = nic
-        self.cpu = cpu or Cpu(sim, f"cpu({nic.address})")
+        self.cpu = cpu or Cpu(sim, f"cpu({nic.address})", node=str(nic.address))
         self._handlers: dict[str, Callable[[Packet], None]] = {}
         self._pump = None
         self.dropped_unroutable = 0

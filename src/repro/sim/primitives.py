@@ -9,10 +9,87 @@ mutual exclusion for the RPC service's conflict detection.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque
+from typing import TYPE_CHECKING, Any, Callable, Deque
 
 from repro.errors import SimulationError
 from repro.sim.future import Future
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
+
+
+class SemaphoreMeter:
+    """Busy/wait accounting for a semaphore-guarded resource.
+
+    Attached to a :class:`Semaphore` (``sem.meter = SemaphoreMeter(...)``)
+    it publishes four metrics under *node* in the registry:
+
+    - ``<prefix>.busy_ms`` — counter: sim-time some unit was held.  For a
+      capacity-1 semaphore (the only kind we meter: CPU mutex, disk arm)
+      the busy-interval union equals the per-hold sum, so the windowed
+      delta divided by the window is the resource's utilization rho.
+    - ``<prefix>.wait_ms`` — counter: sim-time acquirers spent queued
+      before their grant (service time excluded).
+    - ``<prefix>.grants`` — counter: completed grants (= completions for
+      Little's-law checks; a handoff from releaser to waiter counts).
+    - ``<prefix>.queue_depth`` — gauge: holders + waiters right now; its
+      time-weighted window mean is Little's L for the resource.
+
+    Abandoned waiters (process killed while queued) leave the queue
+    without being granted; their partial wait is dropped, which keeps
+    the wait counter meaning "wait of completed grants".
+    """
+
+    __slots__ = ("_clock", "busy", "wait", "grants", "depth",
+                 "_in_use", "_busy_since", "_waiting")
+
+    def __init__(self, registry: "MetricsRegistry", node: str, prefix: str,
+                 clock: Callable[[], float]):
+        self._clock = clock
+        self.busy = registry.counter(node, prefix + ".busy_ms")
+        self.wait = registry.counter(node, prefix + ".wait_ms")
+        self.grants = registry.counter(node, prefix + ".grants")
+        self.depth = registry.gauge(node, prefix + ".queue_depth")
+        self._in_use = 0
+        self._busy_since = 0.0
+        self._waiting: dict[Future, float] = {}
+
+    def note_granted(self) -> None:
+        """A free unit was taken immediately (no queueing)."""
+        self.grants.inc()
+        if self._in_use == 0:
+            self._busy_since = self._clock()
+        self._in_use += 1
+        self.depth.add(1)
+
+    def note_enqueued(self, fut: Future) -> None:
+        self._waiting[fut] = self._clock()
+        self.depth.add(1)
+
+    def note_handoff(self, fut: Future) -> None:
+        """A releasing holder handed its unit straight to *fut*.
+
+        The unit never went free, so the busy interval continues and
+        ``_in_use`` is unchanged; the departing holder still leaves the
+        depth gauge (the waiter's own +1 now counts it as the holder).
+        """
+        started = self._waiting.pop(fut, None)
+        if started is not None:
+            self.wait.inc(self._clock() - started)
+        self.grants.inc()
+        self.depth.add(-1)
+
+    def note_released(self) -> None:
+        """A unit went back to the free pool (no waiter took it)."""
+        self._in_use -= 1
+        if self._in_use == 0:
+            self.busy.inc(self._clock() - self._busy_since)
+        self.depth.add(-1)
+
+    def note_abandoned(self, fut: Future) -> None:
+        """A still-queued waiter was killed before its grant."""
+        if self._waiting.pop(fut, None) is not None:
+            self.depth.add(-1)
 
 
 class Condition:
@@ -62,6 +139,9 @@ class Semaphore:
         self._acquire_name = name + ".acquire"
         self._value = value
         self._waiters: Deque[Future] = deque()
+        # Optional SemaphoreMeter; None keeps every path a single
+        # attribute test so unmetered semaphores stay as cheap as before.
+        self.meter: SemaphoreMeter | None = None
 
     @property
     def value(self) -> int:
@@ -74,14 +154,20 @@ class Semaphore:
         if self._value > 0:
             self._value -= 1
             fut.resolve()
+            if self.meter is not None:
+                self.meter.note_granted()
         else:
             self._waiters.append(fut)
+            if self.meter is not None:
+                self.meter.note_enqueued(fut)
         return fut
 
     def try_acquire(self) -> bool:
         """Take a unit without blocking; False if none available."""
         if self._value > 0:
             self._value -= 1
+            if self.meter is not None:
+                self.meter.note_granted()
             return True
         return False
 
@@ -90,8 +176,12 @@ class Semaphore:
         while self._waiters:
             fut = self._waiters.popleft()
             if fut.resolve_if_pending():
+                if self.meter is not None:
+                    self.meter.note_handoff(fut)
                 return
         self._value += 1
+        if self.meter is not None:
+            self.meter.note_released()
 
     def abandon(self, fut: Future) -> None:
         """Disown an acquire whose process was killed (processor crash).
@@ -106,6 +196,8 @@ class Semaphore:
             if fut.exception is None:
                 self.release()
             return
+        if self.meter is not None:
+            self.meter.note_abandoned(fut)
         fut.interrupt(f"{self.name} acquire abandoned")
 
     def acquire_gen(self):

@@ -9,17 +9,28 @@ not hold the CPU.
 
 from __future__ import annotations
 
-from repro.sim.primitives import Semaphore
+from repro.sim.primitives import Semaphore, SemaphoreMeter
 from repro.sim.scheduler import Simulator
 
 
 class Cpu:
-    """FIFO-serialized processor time for one machine."""
+    """FIFO-serialized processor time for one machine.
 
-    def __init__(self, sim: Simulator, name: str = "cpu"):
+    Every CPU is metered: ``cpu.busy_ms`` / ``cpu.wait_ms`` /
+    ``cpu.grants`` / ``cpu.queue_depth`` under *node* feed the capacity
+    attributor (docs/OBSERVABILITY.md §10), and ``cpu.utilization`` is
+    the machine's lifetime busy fraction.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "cpu", node: str | None = None):
         self.sim = sim
         self.name = name
+        self.node = node or name
         self._mutex = Semaphore(1, f"{name}.mutex")
+        registry = sim.obs.registry
+        self._mutex.meter = SemaphoreMeter(
+            registry, self.node, "cpu", clock=lambda: sim.now)
+        self._g_util = registry.gauge(self.node, "cpu.utilization")
         self.busy_ms: float = 0.0
 
     def use(self, duration: float):
@@ -33,6 +44,7 @@ class Cpu:
         try:
             yield self.sim.sleep(duration)
             self.busy_ms += duration
+            self._g_util.set(self.utilization(self.sim.now))
         finally:
             self._mutex.release()
 

@@ -39,7 +39,7 @@ from typing import Any, Hashable
 
 from repro.errors import CorruptBlock, DiskFailure, StorageError
 from repro.sim.latency import DiskLatency
-from repro.sim.primitives import Semaphore
+from repro.sim.primitives import Semaphore, SemaphoreMeter
 from repro.sim.scheduler import Simulator
 from repro.storage.integrity import seal, unseal
 
@@ -103,6 +103,11 @@ class Disk:
         #: Operations waiting for (or holding) the arm right now — the
         #: health monitor's disk-congestion signal.
         self._g_queue_depth = registry.gauge(name, "disk.queue_depth")
+        # Arm-level busy/wait/grant accounting for the capacity
+        # attributor (docs/OBSERVABILITY.md §10): disk.arm.busy_ms over
+        # a window is the arm's utilization rho.
+        self._arm.meter = SemaphoreMeter(
+            registry, name, "disk.arm", clock=lambda: sim.now)
 
     # -- failure ---------------------------------------------------------
 

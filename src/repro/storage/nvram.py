@@ -77,6 +77,10 @@ class Nvram:
         self._c_flushed_records = registry.counter(name, "nvram.flushed_records")
         self._c_corrupt_records = registry.counter(name, "nvram.corrupt_records")
         self._c_corrupt_replayed = registry.counter(name, "nvram.corrupt_replayed")
+        #: Sim-time the board spent absorbing writes (write_ms per
+        #: append, whether the caller charged it as board time or as
+        #: CPU-held programmed I/O) — the capacity attributor's rho.
+        self._c_busy = registry.counter(name, "nvram.busy_ms")
         self._g_used = registry.gauge(name, "nvram.used_bytes")
 
     # -- capacity ----------------------------------------------------------
@@ -121,6 +125,7 @@ class Nvram:
         self._used += needed
         self.stats.appends += 1
         self._c_appends.inc()
+        self._c_busy.inc(self.write_ms)
         self._g_used.set(self._used)
         if self._obs.tracer.enabled:
             self._obs.tracer.emit(

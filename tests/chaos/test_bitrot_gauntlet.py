@@ -66,3 +66,60 @@ class TestIntegrityOffControl:
     def test_control_stays_out_of_the_default_rotation(self):
         assert scenario("bitrot_integrity_off").in_rotation is False
         assert scenario("bitrot_gauntlet").in_rotation is False  # CI job runs it
+
+
+class TestVerdictUtilization:
+    def test_verdict_carries_the_saturation_rollup(self):
+        """The saturation observatory's verdict-time rollup: whole-run
+        mean utilization per resource kind, sane (0..~1) even with the
+        full fault catalogue in play."""
+        verdict = run_scenario(scenario("bitrot_gauntlet"), seed=0, smoke=True)
+        util = verdict.as_dict()["utilization"]
+        assert set(util) == {"seq", "cpu", "disk", "nvram", "wire"}
+        assert all(0.0 <= v <= 1.05 for v in util.values()), util
+        assert util["disk"] > 0.0  # the gauntlet hammers the disks
+
+
+class TestQueueGaugeBalance:
+    """Regression (saturation PR audit): the fault paths the gauntlet
+    exercises — crashes mid-write, head crashes with queued ops — must
+    leave ``disk.queue_depth`` and the arm meter's gauge balanced, or
+    the health monitor and capacity attributor inherit a phantom queue
+    for the rest of the run."""
+
+    def test_crash_heavy_run_ends_with_empty_disk_queues(self):
+        from repro.cluster import GroupServiceCluster
+
+        cluster = GroupServiceCluster(name="qd", seed=23)
+        cluster.start()
+        cluster.wait_operational()
+        client = cluster.add_client("c")
+        root = cluster.root_capability
+
+        def writes(tag, n):
+            for i in range(n):
+                try:
+                    sub = yield from client.create_dir()
+                    yield from client.append_row(root, f"{tag}-{i}", (sub,))
+                except Exception:
+                    return
+
+        cluster.sim.spawn(writes("pre", 20), "load")
+        # Crash a replica while its disk is mid-persist, then a second
+        # one a little later: both kills land on in-flight arm holders
+        # or queued waiters.
+        cluster.run(until=cluster.sim.now + 400.0)
+        cluster.crash_server(2)
+        cluster.run(until=cluster.sim.now + 300.0)
+        cluster.crash_server(1)
+        cluster.run(until=cluster.sim.now + 5_000.0)
+        cluster.restart_server(1)
+        cluster.restart_server(2)
+        cluster.run(until=cluster.sim.now + 20_000.0)  # recover + drain
+        registry = cluster.sim.obs.registry
+        for site in cluster.sites:
+            name = site.disk.name
+            assert registry.gauge(name, "disk.queue_depth").value == 0.0, name
+            assert (
+                registry.gauge(name, "disk.arm.queue_depth").value == 0.0
+            ), name

@@ -62,6 +62,22 @@ class TestChromeTrace:
         instants = [e for e in doc["traceEvents"] if e.get("ph") == "i"]
         assert instants and all(e["s"] == "t" for e in instants)
 
+    def test_counter_events_keep_their_phase(self):
+        # The saturation sampler's utilization timelines export as
+        # Perfetto counter tracks, not instants.
+        events = [
+            TraceEvent(
+                250.0, "m0", "saturation", "cpu.rho",
+                ph="C", args={"value": 0.75},
+            )
+        ]
+        doc = to_chrome_trace(events)
+        (counter,) = [e for e in doc["traceEvents"] if e.get("ph") == "C"]
+        assert counter["name"] == "cpu.rho"
+        assert counter["args"] == {"value": 0.75}
+        assert counter["ts"] == 250_000.0
+        assert "s" not in counter and "dur" not in counter
+
 
 class TestTextAndFiles:
     def test_text_timeline_mentions_each_event(self):

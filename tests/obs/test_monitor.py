@@ -115,6 +115,36 @@ class TestCounterSampling:
         assert monitor.active_alerts == []
 
 
+class TestSeqUtilization:
+    def test_utilization_is_the_busy_fraction_of_the_window(self):
+        sim = FakeSim()
+        busy = sim.registry.counter("a", "group.seq_busy_ms")
+        monitor = make_monitor(sim)
+        busy.inc(250.0)  # busy half of the 500 ms window
+        samples = advance(sim, monitor)
+        assert samples[("a", "group.seq_utilization")] == pytest.approx(0.5)
+
+    def test_saturated_window_raises_and_quiet_window_clears(self):
+        sim = FakeSim()
+        busy = sim.registry.counter("a", "group.seq_busy_ms")
+        monitor = make_monitor(sim)
+        busy.inc(DEFAULT_INTERVAL_MS)  # flat-out: the pipe never drained
+        advance(sim, monitor)
+        assert [a.signal for a in monitor.active_alerts] == [
+            "group.seq_utilization"
+        ]
+        advance(sim, monitor)  # no busy time at all: well under 0.5
+        assert monitor.active_alerts == []
+
+    def test_baseline_excludes_preexisting_busy_time(self):
+        sim = FakeSim()
+        busy = sim.registry.counter("a", "group.seq_busy_ms")
+        busy.inc(10_000.0)  # history from before the monitor started
+        monitor = make_monitor(sim)
+        samples = advance(sim, monitor)
+        assert samples[("a", "group.seq_utilization")] == 0.0
+
+
 class TestHeartbeatStaleness:
     def test_staleness_is_now_minus_last_heartbeat(self):
         sim = FakeSim()
@@ -228,6 +258,7 @@ class TestDefaults:
             "group.heartbeat_staleness",
             "group.view_churn",
             "storage.corrupt_rate",
+            "group.seq_utilization",
         }
 
 

@@ -126,3 +126,72 @@ class TestSnapshot:
         snap = registry.snapshot()
         assert "gauges" not in snap["n0"]
         assert "histograms" not in snap["n0"]
+
+
+class TestHistogramEdgeCases:
+    """Percentile corner cases (satellite of the saturation PR): the
+    capacity report leans on these summaries, so the empty and
+    single-sample shapes must be exact, not accidental."""
+
+    def test_empty_histogram_percentile_is_zero(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("n0", "lat")
+        assert hist.count == 0
+        assert hist.percentile(0) == 0.0
+        assert hist.percentile(50) == 0.0
+        assert hist.percentile(100) == 0.0
+        assert hist.summary() == {"count": 0}
+        assert hist.mean() == 0.0
+        assert hist.stddev() == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("n0", "lat")
+        hist.observe(42.0)
+        for p in (0, 1, 50, 99, 100):
+            assert hist.percentile(p) == 42.0
+        assert hist.stddev() == 0.0
+
+    def test_zero_weight_observation_does_not_poison_mean(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("n0", "lat")
+        hist.observe(5.0, weight=0.0)
+        assert hist.mean() == 0.0  # total weight 0: defined, not NaN
+        hist.observe(3.0)
+        assert hist.mean() == 3.0
+
+    def test_percentiles_are_monotone_in_p(self):
+        try:
+            from hypothesis import given, settings
+            from hypothesis import strategies as st
+        except ImportError:  # pragma: no cover - hypothesis is baked in
+            import pytest
+
+            pytest.skip("hypothesis unavailable")
+
+        @settings(max_examples=50, deadline=None)
+        @given(
+            st.lists(
+                st.floats(
+                    min_value=-1e6,
+                    max_value=1e6,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                min_size=1,
+                max_size=40,
+            )
+        )
+        def check(values):
+            registry = MetricsRegistry()
+            hist = registry.histogram("n0", "lat")
+            for v in values:
+                hist.observe(v)
+            p0 = hist.percentile(0)
+            p50 = hist.percentile(50)
+            p100 = hist.percentile(100)
+            assert p0 <= p50 <= p100
+            assert p0 == min(values) or p0 <= min(values)
+            assert p100 == max(values)
+
+        check()

@@ -4,7 +4,7 @@ cluster, driven by a stub monitor so every alert edge is exact."""
 from repro.cluster import GroupServiceCluster
 from repro.obs.monitor import Alert
 from repro.recovery import RemediationController, RemediationPolicy
-from repro.recovery.controller import RETRANS, STALENESS
+from repro.recovery.controller import RETRANS, SATURATION, STALENESS
 
 
 class StubMonitor:
@@ -139,6 +139,47 @@ class TestScalePolicy:
         # Every member kernel adopted the final degree.
         for server in cluster.operational_servers():
             assert server.member.kernel.resilience == 1
+
+    def test_saturation_alert_accelerates_scale_back(self):
+        # With the sequencer saturated the raised degree costs
+        # throughput the group does not have: once retransmissions go
+        # quiet the controller returns to the declared degree after
+        # the short scale window, not the full 5 s quiet window.
+        cluster = make_cluster(resilience=1)
+        controller, monitor = make_controller(
+            cluster,
+            scale_after_ms=300.0,
+            scale_cooldown_ms=200.0,
+            scale_back_after_quiet_ms=5_000.0,
+        )
+        node = cluster.sites[0].dir_address
+        monitor.raise_alert(node, RETRANS)
+        run(cluster, 900.0)
+        assert cluster.config.resilience == 2
+        monitor.clear_alert(node, RETRANS)
+        monitor.raise_alert(node, SATURATION)
+        run(cluster, 900.0)  # << 5 s: only the saturated path gets here
+        assert cluster.config.resilience == 1
+        actions = [a["action"] for a in controller.actions]
+        assert actions == ["scale_up", "scale_back"]
+
+    def test_unsaturated_scale_back_waits_out_the_quiet_window(self):
+        cluster = make_cluster(resilience=1)
+        controller, monitor = make_controller(
+            cluster,
+            scale_after_ms=300.0,
+            scale_cooldown_ms=200.0,
+            scale_back_after_quiet_ms=5_000.0,
+        )
+        node = cluster.sites[0].dir_address
+        monitor.raise_alert(node, RETRANS)
+        run(cluster, 900.0)
+        assert cluster.config.resilience == 2
+        monitor.clear_alert(node, RETRANS)
+        run(cluster, 900.0)
+        # Same elapsed time as the saturated case, but no saturation
+        # alert: the raised degree is still in force.
+        assert cluster.config.resilience == 2
 
     def test_scale_up_respects_the_ceiling(self):
         cluster = make_cluster(resilience=2)  # already n - 1

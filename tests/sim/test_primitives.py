@@ -292,3 +292,92 @@ class TestLatencyModel:
 
         net = LatencyModel.paper_testbed().network
         assert net.transmit_time(10_000) > net.transmit_time(100)
+
+
+class TestSemaphoreMeter:
+    """The busy/wait/grants/queue-depth accounting a metered semaphore
+    publishes (the capacity attributor's raw material)."""
+
+    def make_metered(self, capacity=1):
+        from repro.obs import MetricsRegistry
+        from repro.sim.primitives import SemaphoreMeter
+
+        holder = {"now": 0.0}
+        registry = MetricsRegistry(clock=lambda: holder["now"])
+        sem = Semaphore(capacity, "res")
+        sem.meter = SemaphoreMeter(
+            registry, "n0", "res", clock=lambda: holder["now"]
+        )
+        return holder, sem, sem.meter
+
+    def test_uncontended_hold_charges_busy_time(self):
+        holder, sem, meter = self.make_metered()
+        assert sem.acquire().resolved
+        assert meter.depth.value == 1
+        holder["now"] = 4.0
+        sem.release()
+        assert meter.busy.value == 4.0
+        assert meter.wait.value == 0.0
+        assert meter.grants.value == 1
+        assert meter.depth.value == 0
+
+    def test_try_acquire_is_metered(self):
+        holder, sem, meter = self.make_metered()
+        assert sem.try_acquire()
+        holder["now"] = 2.0
+        sem.release()
+        assert meter.busy.value == 2.0
+        assert meter.grants.value == 1
+
+    def test_handoff_continues_busy_and_departs_the_holder(self):
+        holder, sem, meter = self.make_metered()
+        sem.acquire()
+        queued = sem.acquire()
+        assert not queued.resolved
+        assert meter.depth.value == 2  # one holder + one waiter
+        holder["now"] = 3.0
+        sem.release()  # handoff: the unit never goes free
+        assert queued.resolved
+        assert meter.wait.value == 3.0
+        assert meter.grants.value == 2
+        # Regression: the departing holder must leave the gauge — a
+        # handoff changes WHO holds the unit, not how many are queued.
+        assert meter.depth.value == 1
+        holder["now"] = 7.0
+        sem.release()
+        # One continuous busy interval 0..7, not two fragments.
+        assert meter.busy.value == 7.0
+        assert meter.depth.value == 0
+
+    def test_abandoned_waiter_leaves_the_queue_without_a_grant(self):
+        holder, sem, meter = self.make_metered()
+        sem.acquire()
+        holder["now"] = 1.0
+        queued = sem.acquire()
+        assert meter.depth.value == 2
+        holder["now"] = 5.0
+        sem.abandon(queued)
+        assert meter.depth.value == 1
+        assert meter.grants.value == 1  # no grant for the corpse
+        assert meter.wait.value == 0.0  # partial wait dropped
+        sem.release()
+        assert meter.busy.value == 5.0
+        assert meter.depth.value == 0
+
+    def test_capacity_two_busy_is_the_interval_union(self):
+        holder, sem, meter = self.make_metered(capacity=2)
+        sem.acquire()
+        holder["now"] = 1.0
+        sem.acquire()
+        holder["now"] = 3.0
+        sem.release()  # one unit still held: interval continues
+        assert meter.busy.value == 0.0
+        holder["now"] = 5.0
+        sem.release()
+        assert meter.busy.value == 5.0  # union 0..5, not 3 + 4
+
+    def test_unmetered_semaphore_publishes_nothing(self):
+        sem = Semaphore(1, "plain")
+        assert sem.meter is None
+        sem.acquire()
+        sem.release()  # no AttributeError: meter hooks are all guarded

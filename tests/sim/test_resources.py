@@ -124,3 +124,37 @@ class TestCpu:
         sim.run()
         assert done == ["later ran"]
         assert cpu.idle
+
+
+class TestCpuMetrics:
+    """The registry instruments a Cpu publishes (satellite of the
+    saturation observatory): the utilization gauge plus the mutex
+    meter's busy/grants accounting."""
+
+    def test_utilization_gauge_tracks_busy_fraction(self):
+        sim, cpu = make()
+
+        def work():
+            yield sim.sleep(5.0)
+            yield from cpu.use(5.0)
+
+        sim.run_until_complete(sim.spawn(work()))
+        # 5 ms busy out of 10 ms elapsed.
+        gauge = sim.obs.registry.gauge("cpu0", "cpu.utilization")
+        assert gauge.value == pytest.approx(0.5)
+
+    def test_mutex_meter_publishes_busy_and_grants(self):
+        sim, cpu = make()
+
+        def work(tag):
+            yield from cpu.use(3.0)
+
+        for i in range(2):
+            sim.spawn(work(i))
+        sim.run()
+        registry = sim.obs.registry
+        assert registry.counter("cpu0", "cpu.busy_ms").value == pytest.approx(6.0)
+        assert registry.counter("cpu0", "cpu.grants").value == 2
+        # The second process queued behind the first for its whole slice.
+        assert registry.counter("cpu0", "cpu.wait_ms").value == pytest.approx(3.0)
+        assert registry.gauge("cpu0", "cpu.queue_depth").value == 0

@@ -696,3 +696,83 @@ class TestRawPartition:
         sim.run()
         single = disk.latency.random_ms(1024)
         assert sim.now == pytest.approx(2 * single, rel=0.01)
+
+
+class TestQueueDepthSymmetry:
+    """Audit (saturation PR satellite): ``disk.queue_depth`` and the
+    arm meter's ``disk.arm.queue_depth`` must return to zero on every
+    exit path — normal completion, a head crash racing in-flight ops,
+    and a requester killed while queued — or the health monitor and
+    the capacity attributor inherit a permanent phantom queue."""
+
+    def depths(self, sim):
+        registry = sim.obs.registry
+        return (
+            registry.gauge("d0", "disk.queue_depth").value,
+            registry.gauge("d0", "disk.arm.queue_depth").value,
+        )
+
+    def test_normal_completion_rebalances(self):
+        sim, disk = make_disk()
+
+        def work():
+            yield from disk.write_block(1, b"a")
+            yield from disk.read_block(1)
+
+        run(sim, work())
+        assert self.depths(sim) == (0.0, 0.0)
+
+    def test_head_crash_with_queued_ops_rebalances(self):
+        sim, disk = make_disk()
+        outcomes = []
+
+        def writer(i):
+            try:
+                yield from disk.write_block(i, b"x" * 64)
+                outcomes.append("ok")
+            except DiskFailure:
+                outcomes.append("failed")
+
+        def nemesis():
+            yield sim.sleep(5.0)  # mid-service for op 0, others queued
+            disk.fail()
+
+        for i in range(4):
+            sim.spawn(writer(i), f"w{i}")
+        sim.spawn(nemesis())
+        sim.run()
+        assert "failed" in outcomes and len(outcomes) == 4
+        assert self.depths(sim) == (0.0, 0.0)
+
+    def test_killed_waiter_leaves_both_gauges(self):
+        sim, disk = make_disk()
+
+        def holder():
+            yield from disk.write_block(0, b"y" * 512)
+
+        def victim():
+            yield from disk.write_block(1, b"z" * 512)
+
+        sim.spawn(holder(), "holder")
+        victim_proc = sim.spawn(victim(), "victim")
+
+        def killer():
+            yield sim.sleep(1.0)  # victim is queued behind the holder
+            victim_proc.kill("machine crashed")
+
+        sim.spawn(killer())
+        sim.run()
+        assert self.depths(sim) == (0.0, 0.0)
+
+    def test_failed_disk_rejects_without_touching_gauges(self):
+        sim, disk = make_disk()
+        disk.fail()
+
+        def work():
+            try:
+                yield from disk.write_block(0, b"q")
+            except DiskFailure:
+                return "refused"
+
+        assert run(sim, work()) == "refused"
+        assert self.depths(sim) == (0.0, 0.0)

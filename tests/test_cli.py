@@ -95,3 +95,56 @@ class TestTraceCli:
         out = capsys.readouterr().out
         assert status == 2
         assert "unknown trace scenario" in out
+
+
+class TestCapacityCli:
+    def test_point_report_and_counter_trace(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.chdir(tmp_path)  # no BENCH_headline.json here: fine
+        out_dir = tmp_path / "traces"
+        status = main(
+            [
+                "--smoke", "capacity", "update",
+                "--writers", "2", "--out", str(out_dir),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "resource" in out and "rho" in out
+        assert "predicted ceiling" in out
+        chrome = json.loads(
+            (out_dir / "capacity-update-seed0.trace.json").read_text()
+        )
+        counters = [
+            e for e in chrome["traceEvents"] if e.get("ph") == "C"
+        ]
+        assert counters, "no utilization counter tracks in the trace"
+
+    def test_json_report_is_machine_readable_and_self_checked(self, capsys):
+        import json
+
+        status = main(
+            ["--smoke", "--json", "capacity", "update", "--writers", "2"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        doc = json.loads(out)
+        assert doc["scenario"] == "update"
+        assert doc["resources"]
+        assert doc["top_resource"] == doc["resources"][0]["resource"]
+        for row in doc["resources"]:
+            if row["little_residual"] is not None:
+                assert row["little_residual"] < 0.10, row
+
+    def test_unknown_capacity_scenario_rejected(self, capsys):
+        status = main(["capacity", "bogus"])
+        out = capsys.readouterr().out
+        assert status == 2
+        assert "unknown capacity scenario" in out
+
+    def test_perf_scale_still_validates(self, capsys):
+        status = main(["perf", "lookup", "--scale", "galactic"])
+        out = capsys.readouterr().out
+        assert status == 2
+        assert "unknown perf scale" in out
